@@ -1,0 +1,150 @@
+"""E10 — filters false-positive and get evaded; Zmail needs no spam
+definition (§1.2, §2.2).
+
+Three parts: (a) the Bayes filter's recall collapses under misspelling
+evasion while its training-set accuracy looked fine; (b) a harder corpus
+(overlapping vocabulary) produces the false positives the paper prices at
+$230M/yr, and Zmail's structural false-positive rate is zero; (c) the
+full §2 comparison table.
+"""
+
+from conftest import report
+
+from repro.baselines import (
+    ComparisonScenario,
+    NaiveBayesFilter,
+    evaluate_filter,
+    run_comparison,
+)
+from repro.spamcorpus import make_dataset
+
+
+def train_and_eval(evasion: float, overlap: float, seed: int = 9):
+    dataset = make_dataset(
+        n_train=1500,
+        n_test=1500,
+        evasion_rate=0.0,
+        test_evasion_rate=evasion,
+        extra_overlap=overlap,
+        seed=seed,
+    )
+    filt = NaiveBayesFilter(threshold=0.9)
+    filt.train(dataset.train)
+    return evaluate_filter(filt, dataset.test)
+
+
+def test_e10_evasion_sweep(benchmark):
+    def sweep():
+        rows = []
+        for evasion in (0.0, 0.3, 0.6, 0.9):
+            metrics = train_and_eval(evasion=evasion, overlap=0.0)
+            rows.append(
+                {
+                    "evasion_rate": evasion,
+                    "spam_recall": round(metrics.spam_recall, 3),
+                    "false_pos_rate": round(metrics.false_positive_rate, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    recalls = [row["spam_recall"] for row in rows]
+    assert recalls[0] > 0.9
+    assert recalls[-1] < recalls[0]  # misspelling evasion bites
+    report(
+        "E10a",
+        "spammers' misspelling tricks degrade content filters; Zmail makes "
+        "the tricks irrelevant",
+        rows,
+    )
+
+
+def test_e10_false_positive_regime(benchmark):
+    def sweep():
+        rows = []
+        for overlap in (0.0, 0.4, 0.8):
+            metrics = train_and_eval(evasion=0.0, overlap=overlap)
+            rows.append(
+                {
+                    "vocab_overlap": overlap,
+                    "false_pos_rate": round(metrics.false_positive_rate, 4),
+                    "spam_recall": round(metrics.spam_recall, 3),
+                    "zmail_false_pos": 0.0,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    # Harder corpora push the filter into the false-positive regime the
+    # paper's Jupiter citation prices; Zmail never discards legitimate mail.
+    assert rows[-1]["false_pos_rate"] >= rows[0]["false_pos_rate"]
+    assert any(row["false_pos_rate"] > 0 for row in rows)
+    report(
+        "E10b",
+        "content filters lose legitimate mail as classes overlap; Zmail's "
+        "structural false-positive rate is zero",
+        rows,
+    )
+
+
+def test_e10_full_comparison_table(benchmark):
+    results = benchmark(
+        run_comparison, ComparisonScenario(n_train=1000, n_test=1000)
+    )
+    by_name = {r.approach: r for r in results}
+    zmail = by_name["zmail"]
+    assert zmail.ham_lost_fraction == 0.0
+    assert not zmail.needs_spam_definition
+    assert zmail.resists_evasion
+    report(
+        "E10c",
+        "the full Section 2 comparison: only Zmail combines no spam "
+        "definition, no false positives, and per-message sender cost",
+        [
+            {
+                "approach": r.approach,
+                "spam_blocked": f"{r.spam_blocked_fraction:.0%}",
+                "ham_lost": f"{r.ham_lost_fraction:.1%}",
+                "sender_$": round(r.sender_dollar_cost_per_msg, 4),
+                "sender_cpu_s": round(r.sender_cpu_seconds_per_msg, 3),
+                "rcvr_acts/spam": round(r.receiver_actions_per_spam, 2),
+                "needs_defn": r.needs_spam_definition,
+            }
+            for r in results
+        ],
+    )
+
+
+def test_e10_roc_dilemma(benchmark):
+    """No threshold gives both high recall and zero ham loss on a hard
+    corpus — the §2.2 dilemma is structural, not a tuning failure."""
+    from repro.baselines.bayes_filter import NaiveBayesFilter, roc_points
+    from repro.spamcorpus import make_dataset
+
+    def sweep():
+        dataset = make_dataset(
+            n_train=1200, n_test=1200, extra_overlap=0.8, seed=10
+        )
+        filt = NaiveBayesFilter()
+        filt.train(dataset.train)
+        return roc_points(
+            filt, dataset.test, thresholds=(0.5, 0.9, 0.99, 0.999)
+        )
+
+    points = benchmark(sweep)
+    rows = [
+        {
+            "threshold": threshold,
+            "spam_recall": round(metrics.spam_recall, 3),
+            "false_pos_rate": round(metrics.false_positive_rate, 4),
+        }
+        for threshold, metrics in points
+    ]
+    recalls = [row["spam_recall"] for row in rows]
+    assert recalls == sorted(recalls, reverse=True)
+    report(
+        "E10d",
+        "the recall/false-positive dilemma across thresholds: protecting "
+        "ham costs recall and vice versa; Zmail sits outside the curve",
+        rows,
+    )

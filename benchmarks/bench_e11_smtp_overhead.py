@@ -1,0 +1,114 @@
+"""E11 — Zmail "requires no change to SMTP"; overhead is transparent (§1.3).
+
+Measures messages/second through the in-memory SMTP transport with and
+without the Zmail accounting layer behind the handler, and through the
+real asyncio SMTP server over localhost TCP. The claim's shape: the Zmail
+ledger work is a small constant next to SMTP itself.
+"""
+
+import asyncio
+
+from conftest import report
+
+from repro.core import ZmailNetwork
+from repro.sim import Address, TrafficKind
+from repro.smtp import (
+    Envelope,
+    InMemoryTransport,
+    MailMessage,
+    SMTPClient,
+    SMTPServer,
+    ZmailStamp,
+    stamp_message,
+)
+
+
+def make_message(i: int = 0) -> MailMessage:
+    return MailMessage.compose(
+        sender="user1@isp0.example",
+        recipient="user2@isp1.example",
+        subject=f"benchmark message {i}",
+        body="x" * 512,
+    )
+
+
+def test_e11_inmemory_plain(benchmark):
+    transport = InMemoryTransport()
+    transport.register_domain("isp1.example", lambda e: None)
+    envelope = Envelope("user1@isp0.example", "user2@isp1.example", make_message())
+    benchmark(transport.submit, envelope)
+    report(
+        "E11a",
+        "baseline: plain SMTP delivery path (in-memory transport)",
+        [{"path": "plain", "note": "see pytest-benchmark table"}],
+    )
+
+
+def test_e11_inmemory_with_zmail(benchmark):
+    network = ZmailNetwork(n_isps=2, users_per_isp=4, seed=2)
+    network.fund_user(Address(0, 1), epennies=10**7)
+    transport = InMemoryTransport()
+
+    def zmail_handler(envelope: Envelope) -> None:
+        network.send(Address(0, 1), Address(1, 2), TrafficKind.NORMAL)
+
+    transport.register_domain("isp1.example", zmail_handler)
+    stamped = stamp_message(make_message(), ZmailStamp(sender_isp="isp0"))
+    envelope = Envelope("user1@isp0.example", "user2@isp1.example", stamped)
+    benchmark(transport.submit, envelope)
+    report(
+        "E11b",
+        "the Zmail accounting layer adds only ledger arithmetic per message",
+        [{"path": "plain+zmail", "note": "see pytest-benchmark table"}],
+    )
+
+
+def _run_tcp_batch(n_messages: int, handler) -> float:
+    async def scenario():
+        server = SMTPServer(handler, hostname="bench.example")
+        host, port = await server.start()
+        client = SMTPClient(host, port)
+        await client.connect()
+        for i in range(n_messages):
+            await client.send(
+                Envelope(
+                    "user1@isp0.example", "user2@isp1.example", make_message(i)
+                )
+            )
+        await client.quit()
+        await server.stop()
+
+    asyncio.run(scenario())
+    return float(n_messages)
+
+
+def test_e11_real_tcp_plain(benchmark):
+    n = benchmark.pedantic(
+        _run_tcp_batch, args=(200, lambda e: None), iterations=1, rounds=3
+    )
+    assert n == 200
+    report(
+        "E11c",
+        "real localhost SMTP, no Zmail: wire dominates",
+        [{"path": "tcp-plain", "messages": 200}],
+    )
+
+
+def test_e11_real_tcp_with_zmail(benchmark):
+    network = ZmailNetwork(n_isps=2, users_per_isp=4, seed=3)
+    network.fund_user(Address(0, 1), epennies=10**7)
+
+    def handler(envelope: Envelope) -> None:
+        network.send(Address(0, 1), Address(1, 2), TrafficKind.NORMAL)
+
+    n = benchmark.pedantic(
+        _run_tcp_batch, args=(200, handler), iterations=1, rounds=3
+    )
+    assert n == 200
+    assert network.total_value() == network.expected_total_value()
+    report(
+        "E11d",
+        "real localhost SMTP with Zmail accounting: indistinguishable "
+        "overhead (compare tcp-plain vs tcp-zmail medians)",
+        [{"path": "tcp-zmail", "messages": 200}],
+    )

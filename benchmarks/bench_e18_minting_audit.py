@@ -1,0 +1,85 @@
+"""E18 (extension) — the bank's economic audit catches e-penny minting.
+
+The paper stops at "the bank may make further investigation". This
+experiment completes it: across reconciliation rounds the bank bounds
+each ISP's legitimate e-penny holdings from observable flows (initial
+endowment + purchases + net mail inflow from credit arrays) and flags
+ISPs whose cumulative sales exceed the bound. Sweeps the minted amount:
+small frauds stay under the ceiling until the ISP cashes out; cashing out
+is exactly what makes minting profitable, so profit implies detection.
+"""
+
+import random
+
+from conftest import report
+
+from repro.core import ZmailConfig, ZmailNetwork
+from repro.core.audit import EconomicAuditor
+from repro.sim import Address, TrafficKind
+
+
+def run_audit(mint: int, days: int = 15, seed: int = 18):
+    config = ZmailConfig(
+        initial_pool=500, minavail=200, maxavail=900,
+        default_user_balance=50, auto_topup_amount=10,
+    )
+    net = ZmailNetwork(n_isps=3, users_per_isp=8, config=config, seed=seed)
+    auditor = EconomicAuditor()
+    endowment = config.initial_pool + 8 * config.default_user_balance
+    for isp_id in net.compliant_isps():
+        auditor.register_isp(isp_id, initial_endowment=endowment)
+    if mint:
+        net.isps[1].ledger.pool += mint  # off-the-books creation
+
+    rng = random.Random(seed)
+    for day in range(1, days):
+        for _ in range(300):
+            net.send(
+                Address(rng.randrange(3), rng.randrange(8)),
+                Address(rng.randrange(3), rng.randrange(8)),
+                TrafficKind.NORMAL,
+            )
+        isps = net.compliant_isps()
+        for isp in isps.values():
+            isp.begin_snapshot(net.bank.next_seq)
+        reports = {}
+        for isp_id, isp in sorted(isps.items()):
+            reports[isp_id] = isp.snapshot_reply()
+            isp.resume_sending()
+        net.bank.reconcile(reports)
+        auditor.ingest_credit_reports(reports)
+        before = {i: net.bank.account_balance(i) for i in isps}
+        net.advance_day_to(day)
+        for isp_id in isps:
+            delta = net.bank.account_balance(isp_id) - before[isp_id]
+            if delta < 0:
+                auditor.note_purchase(isp_id, -delta)
+            elif delta > 0:
+                auditor.note_sale(isp_id, delta)
+    alerts = auditor.check()
+    return {
+        "minted": mint,
+        "flagged_isps": [a.isp_id for a in alerts],
+        "detected_excess": alerts[0].excess if alerts else 0,
+        "cashed_out": any(a.isp_id == 1 for a in alerts),
+    }
+
+
+def test_e18_minting_detection_sweep(benchmark):
+    def sweep():
+        return [run_audit(mint) for mint in (0, 3000, 6000, 12000)]
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    honest = rows[0]
+    assert honest["flagged_isps"] == []  # no false alarms
+    # Every real mint that gets cashed out is flagged, and the detected
+    # excess grows with the minted amount.
+    assert all(row["flagged_isps"] == [1] for row in rows[1:])
+    excesses = [row["detected_excess"] for row in rows[1:]]
+    assert excesses == sorted(excesses)
+    report(
+        "E18",
+        "the solvency audit flags ISPs that mint e-pennies the moment the "
+        "fraud is cashed out; honest ISPs are never flagged",
+        rows,
+    )

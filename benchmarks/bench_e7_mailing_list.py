@@ -1,0 +1,119 @@
+"""E7 — mailing-list acknowledgments make volunteer lists free (§5).
+
+Sweeps list size and acknowledgment probability: the distributor's net
+cost per post is (1 - ack_rate) * list_size, hitting zero with full
+acknowledgment; stale subscribers are pruned, keeping the database clean.
+"""
+
+from conftest import report
+
+from repro.core import ZmailNetwork
+from repro.core.mailinglist import ListServer
+from repro.sim import Address, SeededStreams
+
+
+def run_list(n_subscribers: int, ack_probability: float, posts: int = 3):
+    # Distributors legitimately negotiate a high daily limit; without it
+    # the zombie brake would throttle the fan-out.
+    from repro.core import ZmailConfig
+
+    config = ZmailConfig(default_daily_limit=100_000)
+    net = ZmailNetwork(n_isps=4, users_per_isp=40, config=config, seed=11)
+    distributor = Address(0, 0)
+    net.fund_user(distributor, epennies=10 * n_subscribers * posts)
+    server = ListServer(net, distributor, prune_after_misses=0)
+    members = [
+        Address(isp, user)
+        for isp in range(4)
+        for user in range(40)
+        if Address(isp, user) != distributor
+    ][:n_subscribers]
+    for member in members:
+        server.subscribe(member)
+    stream = SeededStreams(11).get("acks")
+    total_cost = 0
+    for _ in range(posts):
+        outcome = server.post(
+            ack_probability_fn=lambda a: stream.random() < ack_probability
+        )
+        total_cost += outcome.net_epenny_cost
+    assert net.total_value() == net.expected_total_value()
+    return total_cost / posts, len(server)
+
+
+def test_e7_ack_probability_sweep(benchmark):
+    def sweep():
+        rows = []
+        for p_ack in (1.0, 0.9, 0.5, 0.0):
+            cost, _ = run_list(n_subscribers=100, ack_probability=p_ack)
+            rows.append(
+                {
+                    "subscribers": 100,
+                    "ack_prob": p_ack,
+                    "net_cost_per_post": round(cost, 1),
+                    "expected": round(100 * (1 - p_ack), 1),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    assert rows[0]["net_cost_per_post"] == 0.0  # full acks: free
+    assert rows[-1]["net_cost_per_post"] == 100.0  # no acks: full fan-out
+    costs = [row["net_cost_per_post"] for row in rows]
+    assert costs == sorted(costs)
+    report(
+        "E7a",
+        "acknowledgments return the distributor's e-pennies: net cost per "
+        "post is (1 - ack_rate) * subscribers",
+        rows,
+    )
+
+
+def test_e7_list_size_sweep(benchmark):
+    def sweep():
+        return [
+            {
+                "subscribers": size,
+                "net_cost_per_post": round(
+                    run_list(n_subscribers=size, ack_probability=1.0)[0], 1
+                ),
+            }
+            for size in (10, 50, 150)
+        ]
+
+    rows = benchmark(sweep)
+    assert all(row["net_cost_per_post"] == 0.0 for row in rows)
+    report(
+        "E7b",
+        "with universal acks even large volunteer lists post for free",
+        rows,
+    )
+
+
+def test_e7_pruning_keeps_database_clean(benchmark):
+    def run_with_dead_tail():
+        net = ZmailNetwork(n_isps=2, users_per_isp=30, seed=12)
+        distributor = Address(0, 0)
+        net.fund_user(distributor, epennies=5_000)
+        server = ListServer(net, distributor, prune_after_misses=3)
+        members = [Address(1, u) for u in range(30)]
+        for member in members:
+            server.subscribe(member)
+        dead = set(members[:6])
+        for _ in range(5):
+            server.post(ack_probability_fn=lambda a: a not in dead)
+        return len(server), len(dead)
+
+    remaining, dead_count = benchmark(run_with_dead_tail)
+    assert remaining == 30 - dead_count
+    report(
+        "E7c",
+        "subscribers who never acknowledge are detected and pruned",
+        [
+            {
+                "initial": 30,
+                "dead_addresses": dead_count,
+                "remaining_after_5_posts": remaining,
+            }
+        ],
+    )

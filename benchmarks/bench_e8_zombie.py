@@ -1,0 +1,111 @@
+"""E8 — daily limits bound zombie liability and detect infections (§5).
+
+Sweeps the limit value and the outbreak rate: liability is always capped
+at the limit, every zombie is detected (it necessarily hits its limit),
+and no innocent user is flagged at sane limits.
+"""
+
+from conftest import report
+
+from repro.core import ZmailConfig, ZmailNetwork
+from repro.core.zombie import ZombieMonitor
+from repro.sim import DAY, HOUR, Address, SeededStreams
+from repro.sim.workload import (
+    NormalUserWorkload,
+    ZombieBurstWorkload,
+    merge_workloads,
+)
+
+
+def run_outbreak(limit: int, rate_per_hour: float, n_zombies: int = 3):
+    config = ZmailConfig(
+        default_daily_limit=limit,
+        default_user_balance=1_000,
+        auto_topup_amount=0,
+    )
+    net = ZmailNetwork(n_isps=3, users_per_isp=12, config=config, seed=21)
+    streams = SeededStreams(21)
+    zombies = [Address(i % 3, 2 + i) for i in range(n_zombies)]
+    bursts = [
+        ZombieBurstWorkload(
+            zombie=z, n_isps=3, users_per_isp=12,
+            rate_per_hour=rate_per_hour, start=0.0, end=12 * HOUR,
+            streams=streams.spawn(f"z{i}"),
+        ).generate()
+        for i, z in enumerate(zombies)
+    ]
+    normal = NormalUserWorkload(
+        n_isps=3, users_per_isp=12, rate_per_day=5.0, streams=streams
+    ).generate(DAY)
+    net.run_workload(merge_workloads(normal, *bursts))
+    monitor = ZombieMonitor(net)
+    monitor.poll()
+    detected = {d.address for d in monitor.detections}
+    max_liability = 0
+    for z in zombies:
+        user = net.isps[z.isp].ledger.user(z.user)
+        max_liability = max(max_liability, 1_000 - user.balance)
+    return {
+        "zombies": set(zombies),
+        "detected": detected,
+        "max_liability": max_liability,
+        "blocked": net.metrics.counter("send.blocked_limit").value,
+    }
+
+
+def test_e8_limit_sweep(benchmark):
+    def sweep():
+        rows = []
+        for limit in (10, 50, 200):
+            result = run_outbreak(limit=limit, rate_per_hour=150.0)
+            rows.append(
+                {
+                    "daily_limit": limit,
+                    "zombies": len(result["zombies"]),
+                    "detected": len(
+                        result["zombies"] & result["detected"]
+                    ),
+                    "false_alarms": len(
+                        result["detected"] - result["zombies"]
+                    ),
+                    "max_liability": result["max_liability"],
+                    "virus_mail_blocked": result["blocked"],
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    for row in rows:
+        assert row["detected"] == row["zombies"]  # all detected
+        assert row["max_liability"] <= row["daily_limit"]  # bounded
+        assert row["false_alarms"] == 0
+    # Lower limits bound liability tighter and block more virus mail.
+    assert rows[0]["max_liability"] <= rows[-1]["max_liability"]
+    report(
+        "E8a",
+        "the daily limit bounds zombie liability and detects every zombie",
+        rows,
+    )
+
+
+def test_e8_outbreak_rate_sweep(benchmark):
+    def sweep():
+        rows = []
+        for rate in (30.0, 150.0, 600.0):
+            result = run_outbreak(limit=50, rate_per_hour=rate)
+            rows.append(
+                {
+                    "zombie_rate_per_hour": rate,
+                    "detected": len(result["zombies"] & result["detected"]),
+                    "max_liability": result["max_liability"],
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(row["max_liability"] <= 50 for row in rows)
+    report(
+        "E8b",
+        "liability stays bounded no matter how fast the zombie blasts",
+        rows,
+    )

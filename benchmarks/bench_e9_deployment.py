@@ -1,0 +1,81 @@
+"""E9 — incremental deployment from two ISPs has positive feedback (§5).
+
+Runs the adoption model across policies and switch propensities,
+checking: full adoption is reached from a two-ISP seed, the per-holdout
+switching hazard grows with adoption (the positive-feedback loop), and
+stricter non-compliant-mail policies accelerate adoption (the §5 lever).
+"""
+
+from conftest import report
+
+from repro.core import AdoptionParams, AdoptionSimulation, NonCompliantMailPolicy
+from repro.economics import sweep_policies, sweep_propensity
+
+
+def test_e9_s_curve_from_two_isps(benchmark):
+    def run():
+        sim = AdoptionSimulation(
+            AdoptionParams(
+                n_isps=200, initial_compliant=2,
+                base_switch_propensity=0.1, seed=3,
+            )
+        )
+        sim.run(max_rounds=100)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.rounds[0].compliant_count == 2
+    assert sim.rounds[-1].compliant_fraction == 1.0
+    assert sim.has_positive_feedback()
+    milestones = [
+        {
+            "milestone": f"{target:.0%}",
+            "round": sim.rounds_to_fraction(target),
+        }
+        for target in (0.1, 0.25, 0.5, 0.9, 1.0)
+    ]
+    report(
+        "E9a",
+        "adoption grows from 2 ISPs to everyone via positive feedback",
+        milestones,
+    )
+
+
+def test_e9_policy_sweep(benchmark):
+    outcomes = benchmark(sweep_policies, n_isps=100, seed=4)
+    by_policy = {o.label: o for o in outcomes}
+    strict = by_policy[NonCompliantMailPolicy.DISCARD.value]
+    lax = by_policy[NonCompliantMailPolicy.DELIVER.value]
+    assert (strict.rounds_to_90pct or 999) <= (lax.rounds_to_90pct or 999)
+    report(
+        "E9b",
+        "stricter handling of non-compliant mail accelerates adoption",
+        [
+            {
+                "policy": o.label,
+                "rounds_to_50pct": o.rounds_to_half,
+                "rounds_to_90pct": o.rounds_to_90pct,
+                "final_fraction": f"{o.final_fraction:.0%}",
+            }
+            for o in outcomes
+        ],
+    )
+
+
+def test_e9_propensity_sweep(benchmark):
+    propensities = [0.05, 0.15, 0.4]
+    outcomes = benchmark(sweep_propensity, propensities, n_isps=100, seed=5)
+    speeds = [o.rounds_to_90pct or 9999 for o in outcomes]
+    assert speeds == sorted(speeds, reverse=True)
+    report(
+        "E9c",
+        "faster-switching users compress the adoption timeline",
+        [
+            {
+                "propensity": p,
+                "rounds_to_90pct": o.rounds_to_90pct,
+                "positive_feedback": o.positive_feedback,
+            }
+            for p, o in zip(propensities, outcomes)
+        ],
+    )

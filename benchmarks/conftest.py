@@ -1,0 +1,65 @@
+"""Shared reporting for the experiment benchmarks.
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md's
+index (the paper has no numbered tables/figures; each quantitative claim
+is an experiment). Benchmarks do three things:
+
+1. time the experiment's computational core via pytest-benchmark;
+2. *assert* the claim's shape (who wins, roughly by how much) so the
+   benchmark run doubles as a reproduction check;
+3. emit a claim-vs-measured table through :func:`report`, which also
+   appends to ``benchmarks/results.jsonl`` for EXPERIMENTS.md.
+
+Run:
+    pytest benchmarks/ --benchmark-only            # quiet
+    pytest benchmarks/ --benchmark-only -s         # with the tables
+"""
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.jsonl"
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def report(experiment: str, claim: str, rows: list[dict]) -> None:
+    """Print a uniform experiment table and persist it as JSONL."""
+    print(f"\n[{experiment}] paper claim: {claim}")
+    if rows:
+        keys = list(rows[0].keys())
+        widths = {
+            k: max(len(k), *(len(_format_cell(r.get(k, ""))) for r in rows))
+            for k in keys
+        }
+        header = "  " + "  ".join(k.ljust(widths[k]) for k in keys)
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for row in rows:
+            print(
+                "  "
+                + "  ".join(
+                    _format_cell(row.get(k, "")).rjust(widths[k]) for k in keys
+                )
+            )
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(
+            json.dumps({"experiment": experiment, "claim": claim, "rows": rows})
+            + "\n"
+        )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start every benchmark session with a clean results file."""
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()
+    yield

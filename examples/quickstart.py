@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-ISP Zmail deployment in ~40 lines.
+
+Builds the smallest interesting deployment — two compliant ISPs, a
+central bank, a handful of users — sends some mail, and shows the
+zero-sum accounting plus a reconciliation round.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import ZmailNetwork
+from repro.sim import Address, TrafficKind
+
+
+def main() -> None:
+    # Two compliant ISPs with 5 users each; the bank is created inside.
+    net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=1)
+    alice = Address(0, 1)  # user 1 at ISP 0
+    bob = Address(1, 2)  # user 2 at ISP 1
+
+    balance = net.config.default_user_balance
+    print(f"Every user starts with {balance} e-pennies.\n")
+
+    # Alice sends Bob three emails; each moves one e-penny to Bob.
+    for i in range(3):
+        receipt = net.send(alice, bob, TrafficKind.NORMAL)
+        print(f"email {i + 1}: {receipt.status.value}")
+
+    # Bob replies once.
+    net.send(bob, alice, TrafficKind.NORMAL)
+
+    alice_acct = net.isps[0].ledger.user(1)
+    bob_acct = net.isps[1].ledger.user(2)
+    print(f"\nAlice: sent {alice_acct.lifetime_sent}, "
+          f"received {alice_acct.lifetime_received}, "
+          f"balance {alice_acct.balance} e-pennies")
+    print(f"Bob:   sent {bob_acct.lifetime_sent}, "
+          f"received {bob_acct.lifetime_received}, "
+          f"balance {bob_acct.balance} e-pennies")
+
+    # The inter-ISP credit arrays mirror the traffic...
+    print(f"\nISP0 credit toward ISP1: {net.isps[0].credit.get(1, 0)}")
+    print(f"ISP1 credit toward ISP0: {net.isps[1].credit.get(0, 0)}")
+
+    # ...and the bank's reconciliation verifies their anti-symmetry.
+    report = net.reconcile("direct")
+    print(f"\nreconciliation round {report.round_seq}: "
+          f"consistent={report.consistent}, "
+          f"pairs checked={report.pairs_checked}")
+
+    # Global conservation: no e-penny was created or destroyed.
+    assert net.total_value() == net.expected_total_value()
+    print("conservation audit: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The declarative Scenario API: a full mixed simulation in one spec.
+
+Builds the kitchen-sink deployment — 4 ISPs (one non-compliant), normal
+correspondence, a funded spammer on a compliant ISP, a free-riding
+spammer on the non-compliant one, and a zombie outbreak — runs five
+virtual days with daily reconciliation, and prints the summary report.
+
+Run:
+    python examples/scenario_report.py
+"""
+
+from repro.core import NonCompliantMailPolicy, ZmailConfig
+from repro.core.scenario import Scenario, SpammerSpec, ZombieSpec
+from repro.sim import DAY, HOUR, Address
+
+
+def main() -> None:
+    scenario = Scenario(
+        n_isps=4,
+        users_per_isp=12,
+        compliant=[True, True, True, False],
+        config=ZmailConfig(
+            default_daily_limit=80,
+            default_user_balance=100,
+            auto_topup_amount=0,
+            noncompliant_policy=NonCompliantMailPolicy.SEGREGATE,
+        ),
+        seed=42,
+        duration=5 * DAY,
+        normal_rate_per_day=6.0,
+        spammers=[
+            SpammerSpec(Address(0, 0), volume=1_500, war_chest=150),
+            SpammerSpec(Address(3, 0), volume=1_500),
+        ],
+        zombies=[
+            ZombieSpec(
+                Address(1, 11), rate_per_hour=120.0,
+                start=2 * DAY, end=2 * DAY + 10 * HOUR,
+            )
+        ],
+        reconcile_every=DAY,
+    )
+    result = scenario.run()
+
+    print("Scenario: 4 ISPs (3 compliant), 5 days, mixed adversaries\n")
+    for key, value in result.summary().items():
+        print(f"  {key:<24} {value}")
+
+    print("\nPer-reconciliation rounds:")
+    for report in result.reconciliations:
+        print(f"  round {report.round_seq}: consistent={report.consistent}, "
+              f"pairs={report.pairs_checked}, "
+              f"ops={report.settlement_operations}")
+
+    print("\nZombie detections:")
+    for detection in result.zombie_detections:
+        print(f"  {detection.address} blocked at limit "
+              f"{detection.daily_limit} (liability <= "
+              f"{detection.liability_epennies} e-pennies)")
+
+    assert result.conserved
+    assert result.all_reconciliations_consistent
+    print("\nconservation + consistency: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Reproduction of *Zmail: Zero-Sum Free Market Control of Spam* (ICDCS 2005).
+
+The library provides:
+
+* :mod:`repro.core` — the deployable Zmail system: compliant ISPs, the
+  central bank (or a federation), zero-sum e-penny transfer, bulk
+  reconciliation, misbehaviour detection, the solvency audit, mailing
+  lists, zombie containment, incremental-deployment policies and a
+  declarative scenario runner.
+* :mod:`repro.apn` — Gouda's Abstract Protocol notation engine and the
+  paper's formal §4 specification, executable as a randomized model
+  checker.
+* :mod:`repro.smtp` — an RFC 821/822-subset SMTP substrate showing Zmail
+  needs no change to SMTP (payment metadata rides in ``X-Zmail-*``
+  headers), plus the full ISP gateway.
+* :mod:`repro.sim` — the deterministic discrete-event simulator, FIFO
+  latency/loss network, reliable-delivery layer and email workload
+  generators behind every experiment.
+* :mod:`repro.economics` — the market models (spammer break-even, the
+  adaptive spammer, user neutrality, ISP costs, adoption dynamics,
+  sensitivity statistics).
+* :mod:`repro.baselines` — every comparator from the paper's Section 2:
+  filtering (naive Bayes, blacklists, whitelists), challenge–response,
+  hashcash proof-of-work, SHRED/Vanquish receiver-triggered payments and
+  the legal-approach models.
+* :mod:`repro.crypto` — the toy NCR/DCR/NNC substrate the spec needs.
+* :mod:`repro.spamcorpus` — synthetic spam/ham corpora for the filtering
+  baseline.
+
+The most-used entry points are re-exported here::
+
+    from repro import ZmailNetwork, Address, Scenario
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+from .core import Scenario, ZmailConfig, ZmailNetwork
+from .sim import Address, TrafficKind
+
+__all__ = [
+    "errors",
+    "__version__",
+    "ZmailNetwork",
+    "ZmailConfig",
+    "Scenario",
+    "Address",
+    "TrafficKind",
+]

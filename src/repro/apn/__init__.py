@@ -1,0 +1,54 @@
+"""Abstract Protocol notation engine (Section 3 of the paper).
+
+Gouda's AP notation defines protocols as processes with guarded actions
+over FIFO channels, executed one action at a time under weak fairness.
+This package provides those semantics as an executable engine plus the
+paper's Section 4 Zmail specification built on it
+(:mod:`repro.apn.zmail_spec`), turning the formal spec into a randomized
+model checker for the protocol's invariants.
+"""
+
+from .action import Action, BooleanGuard, ReceiveGuard, TimeoutGuard
+from .alternating_bit import (
+    AlternatingBitResult,
+    build_alternating_bit,
+    run_alternating_bit,
+)
+from .channel import Channel, Message
+from .process import Process
+from .scheduler import InvariantViolation, ProtocolState, Scheduler, StepRecord
+from .zmail_spec import (
+    CheatMode,
+    ZmailProtocol,
+    ZmailSpecConfig,
+    build_zmail_protocol,
+    conservation_invariant,
+    credit_antisymmetry_invariant,
+    nonnegative_invariant,
+    total_value,
+)
+
+__all__ = [
+    "Action",
+    "AlternatingBitResult",
+    "build_alternating_bit",
+    "run_alternating_bit",
+    "BooleanGuard",
+    "ReceiveGuard",
+    "TimeoutGuard",
+    "Channel",
+    "Message",
+    "Process",
+    "Scheduler",
+    "ProtocolState",
+    "StepRecord",
+    "InvariantViolation",
+    "ZmailSpecConfig",
+    "ZmailProtocol",
+    "CheatMode",
+    "build_zmail_protocol",
+    "conservation_invariant",
+    "credit_antisymmetry_invariant",
+    "nonnegative_invariant",
+    "total_value",
+]

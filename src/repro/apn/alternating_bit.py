@@ -1,0 +1,169 @@
+"""The alternating-bit protocol on the AP engine (engine demo/validation).
+
+Gouda's book develops AP notation with classic protocols; the
+alternating-bit protocol (reliable transfer over a lossy channel with a
+one-bit sequence number) is the canonical one. Having it here serves two
+purposes: it demonstrates that :mod:`repro.apn` is a general AP engine
+rather than Zmail-shaped scaffolding, and its invariants (no loss, no
+duplication, no reordering of the delivered stream) exercise the engine's
+receive guards and timeout guards independently of Zmail.
+
+Loss is modelled AP-style: an explicit nondeterministic "lose the head
+message" action on each channel direction, bounded so runs terminate.
+Retransmission fires on a timeout guard over global state (sender has an
+outstanding message and the channels hold nothing for it), exactly the
+book's formulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .channel import Message
+from .process import Process
+from .scheduler import ProtocolState, Scheduler
+
+__all__ = ["AlternatingBitResult", "build_alternating_bit", "run_alternating_bit"]
+
+
+@dataclass
+class AlternatingBitResult:
+    """Outcome of one alternating-bit run."""
+
+    sent_items: list[int]
+    delivered_items: list[int]
+    losses_injected: int
+    retransmissions: int
+    steps: int
+
+    @property
+    def correct(self) -> bool:
+        """Delivered equals sent: no loss, duplication or reordering."""
+        return self.delivered_items == self.sent_items
+
+
+def build_alternating_bit(
+    *, n_items: int, max_losses: int, seed: int = 0
+) -> tuple[Scheduler, Process, Process]:
+    """Construct sender/receiver processes plus the lossy-channel saboteur."""
+    sender = Process(
+        "s",
+        constants={"n": n_items},
+        variables={
+            "bit": 0,
+            "next_item": 0,
+            "outstanding": False,
+            "retransmissions": 0,
+            "sent_items": [],
+        },
+    )
+    receiver = Process(
+        "r",
+        variables={"expected_bit": 0, "delivered": []},
+    )
+    saboteur = Process(
+        "loss",
+        inputs={"_rng": random.Random(seed)},
+        variables={"remaining": max_losses},
+    )
+
+    # -- sender ----------------------------------------------------------------
+
+    def send_next(p: Process) -> None:
+        item = p["next_item"]
+        p["sent_items"].append(item)
+        p["outstanding"] = True
+        _send(p, "r", Message("data", (p["bit"], item)))
+
+    sender.add_local_action(
+        "send",
+        lambda p: not p["outstanding"] and p["next_item"] < p["n"],
+        send_next,
+    )
+
+    def on_ack(p: Process, msg: Message) -> None:
+        (ack_bit,) = msg.fields
+        if ack_bit == p["bit"] and p["outstanding"]:
+            p["outstanding"] = False
+            p["bit"] = 1 - p["bit"]
+            p["next_item"] = p["next_item"] + 1
+        # Stale ack: ignore.
+
+    sender.add_receive_action("rcv-ack", "ack", "r", on_ack)
+
+    def channels_empty(state: ProtocolState, p: Process) -> bool:
+        if not p["outstanding"]:
+            return False
+        return len(state.channel("s", "r")) == 0 and len(
+            state.channel("r", "s")
+        ) == 0
+
+    def retransmit(p: Process) -> None:
+        p["retransmissions"] = p["retransmissions"] + 1
+        item = p["sent_items"][-1]
+        _send(p, "r", Message("data", (p["bit"], item)))
+
+    sender.add_timeout_action(
+        "retransmit", channels_empty, retransmit, weight=0.5
+    )
+
+    # -- receiver ----------------------------------------------------------------
+
+    def on_data(p: Process, msg: Message) -> None:
+        bit, item = msg.fields
+        if bit == p["expected_bit"]:
+            p["delivered"].append(item)
+            p["expected_bit"] = 1 - p["expected_bit"]
+        _send(p, "s", Message("ack", (bit,)))
+
+    receiver.add_receive_action("rcv-data", "data", "s", on_data)
+
+    # -- lossy channel (explicit AP saboteur) ---------------------------------------
+
+    def lose_guard(state: ProtocolState, p: Process) -> bool:
+        if p["remaining"] <= 0:
+            return False
+        return bool(state.channel("s", "r")) or bool(state.channel("r", "s"))
+
+    def lose_one(p: Process) -> None:
+        state = p._protocol_state  # type: ignore[attr-defined]
+        rng = p["_rng"]
+        candidates = [
+            chan
+            for chan in (state.channel("s", "r"), state.channel("r", "s"))
+            if len(chan)
+        ]
+        chan = rng.choice(candidates)
+        chan.receive()  # drop the head message
+        p["remaining"] = p["remaining"] - 1
+
+    saboteur.add_timeout_action("lose", lose_guard, lose_one, weight=0.3)
+
+    scheduler = Scheduler([sender, receiver, saboteur], seed=seed)
+    for proc in (sender, receiver, saboteur):
+        proc._protocol_state = scheduler.state  # type: ignore[attr-defined]
+    return scheduler, sender, receiver
+
+
+def _send(proc: Process, dst: str, message: Message) -> None:
+    proc._protocol_state.send(proc.name, dst, message)  # type: ignore[attr-defined]
+
+
+def run_alternating_bit(
+    *, n_items: int = 10, max_losses: int = 8, seed: int = 0,
+    max_steps: int = 5000,
+) -> AlternatingBitResult:
+    """Run the protocol to quiescence and report its outcome."""
+    scheduler, sender, receiver = build_alternating_bit(
+        n_items=n_items, max_losses=max_losses, seed=seed
+    )
+    steps = scheduler.run(max_steps)
+    saboteur = scheduler.state.process("loss")
+    return AlternatingBitResult(
+        sent_items=list(range(n_items))[: sender["next_item"]],
+        delivered_items=list(receiver["delivered"]),
+        losses_injected=max_losses - saboteur["remaining"],
+        retransmissions=sender["retransmissions"],
+        steps=steps,
+    )

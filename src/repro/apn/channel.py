@@ -1,0 +1,76 @@
+"""FIFO channels for the Abstract Protocol notation engine.
+
+Section 3 of the paper: "Each message sent from p to q remains in the
+channel from p to q until it is eventually received by process q. Messages
+that reside simultaneously in a channel form a sequence and are received,
+one at a time, in the same order in which they were sent."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ChannelClosed
+
+__all__ = ["Message", "Channel"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A named message with positional fields, e.g. ``email(s, r)``.
+
+    ``meta`` is model instrumentation: plaintext bookkeeping attached for
+    invariant checkers that need a god's-eye view of encrypted payloads
+    (e.g. the value carried by an in-flight ``buyreply``). Process actions
+    must never read it; it does not participate in equality.
+    """
+
+    name: str
+    fields: tuple[Any, ...] = ()
+    meta: Any = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class Channel:
+    """A unidirectional FIFO message channel from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    _queue: deque[Message] = field(default_factory=deque)
+    closed: bool = False
+
+    def send(self, message: Message) -> None:
+        """Append ``message`` to the channel tail."""
+        if self.closed:
+            raise ChannelClosed(f"channel {self.src}->{self.dst} is closed")
+        self._queue.append(message)
+
+    def peek(self) -> Message | None:
+        """The head message, or ``None`` if the channel is empty."""
+        return self._queue[0] if self._queue else None
+
+    def receive(self) -> Message:
+        """Remove and return the head message."""
+        if self.closed:
+            raise ChannelClosed(f"channel {self.src}->{self.dst} is closed")
+        if not self._queue:
+            raise ChannelClosed(
+                f"receive on empty channel {self.src}->{self.dst}"
+            )
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def contents(self) -> tuple[Message, ...]:
+        """A read-only snapshot of the queued messages, head first."""
+        return tuple(self._queue)

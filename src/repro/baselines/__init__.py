@@ -1,0 +1,53 @@
+"""Every anti-spam comparator the paper reviews in Section 2.
+
+Filtering (naive Bayes, blacklists, whitelists), human challenge–response,
+hashcash proof-of-work, and the SHRED/Vanquish receiver-triggered payment
+scheme — plus a harness that scores them all, and Zmail, on one common
+scenario.
+"""
+
+from .base import ClassifierMetrics, EvaluationResult, confusion_metrics
+from .bayes_filter import NaiveBayesFilter, evaluate_filter, roc_points
+from .blacklist import Blacklist, RotatingSpammer
+from .challenge_response import (
+    ChallengeOutcome,
+    ChallengeResponseSystem,
+    HeldMessage,
+)
+from .comparison import ComparisonScenario, run_comparison
+from .hashcash import HashcashStamp, expected_attempts, mint, verify
+from .legal import SOPHOS_OFFSHORE_SHARE_2004, JurisdictionModel, RegistryModel
+from .letter_filter import ContentProvider, make_letter_predicate, train_default_filter
+from .shred import ShredConfig, ShredOutcome, ShredSystem
+from .whitelist import Whitelist, WhitelistDecision
+
+__all__ = [
+    "ClassifierMetrics",
+    "EvaluationResult",
+    "confusion_metrics",
+    "NaiveBayesFilter",
+    "evaluate_filter",
+    "roc_points",
+    "Blacklist",
+    "RotatingSpammer",
+    "ChallengeOutcome",
+    "ChallengeResponseSystem",
+    "HeldMessage",
+    "ComparisonScenario",
+    "run_comparison",
+    "HashcashStamp",
+    "JurisdictionModel",
+    "RegistryModel",
+    "ContentProvider",
+    "make_letter_predicate",
+    "train_default_filter",
+    "SOPHOS_OFFSHORE_SHARE_2004",
+    "mint",
+    "verify",
+    "expected_attempts",
+    "ShredConfig",
+    "ShredOutcome",
+    "ShredSystem",
+    "Whitelist",
+    "WhitelistDecision",
+]

@@ -1,0 +1,89 @@
+"""Common evaluation vocabulary for anti-spam baselines (§2).
+
+Every approach the paper reviews — legal, filtering, economic — is
+evaluated on the same axes the paper argues on:
+
+* how much spam reaches the inbox;
+* how much legitimate mail is lost (false positives);
+* what the *sender* pays (money, CPU, human effort);
+* what the *receiver* pays (effort to triage, actions per spam);
+* whether the approach needs a definition of spam at all.
+
+:class:`EvaluationResult` is the row type every baseline produces, so the
+comparison harness (and experiment E10) can tabulate them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EvaluationResult", "ClassifierMetrics", "confusion_metrics"]
+
+
+@dataclass(frozen=True)
+class ClassifierMetrics:
+    """Standard confusion-matrix metrics for filter-style baselines."""
+
+    true_positives: int  # spam correctly blocked
+    false_positives: int  # ham wrongly blocked -- the costly error
+    true_negatives: int  # ham correctly delivered
+    false_negatives: int  # spam delivered
+
+    @property
+    def spam_recall(self) -> float:
+        """Fraction of spam blocked."""
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of legitimate mail wrongly blocked (Jupiter's 17%)."""
+        total = self.false_positives + self.true_negatives
+        return self.false_positives / total if total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction classified correctly."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 0.0
+
+
+def confusion_metrics(
+    predictions: list[bool], labels: list[bool]
+) -> ClassifierMetrics:
+    """Build metrics from parallel predicted/actual spam flags."""
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels differ in length")
+    tp = fp = tn = fn = 0
+    for predicted, actual in zip(predictions, labels):
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and not actual:
+            tn += 1
+        else:
+            fn += 1
+    return ClassifierMetrics(tp, fp, tn, fn)
+
+
+@dataclass
+class EvaluationResult:
+    """One baseline's scorecard on a common scenario."""
+
+    approach: str
+    spam_blocked_fraction: float
+    ham_lost_fraction: float
+    sender_dollar_cost_per_msg: float = 0.0
+    sender_cpu_seconds_per_msg: float = 0.0
+    sender_human_actions_per_msg: float = 0.0
+    receiver_actions_per_spam: float = 0.0
+    needs_spam_definition: bool = False
+    resists_evasion: bool = False
+    notes: dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,89 @@
+"""Header-based blacklist filtering (§2.2, the MAPS-RBL style baseline).
+
+A blacklist discards mail from "known" spam sources. Its §2.2 failure
+mode: "spammers can use well-known ISPs or some hacked computers to send
+spam" — source rotation keeps them ahead of the list. The model gives
+the list a reaction lag: a source lands on the list only after it has
+been observed sending at least ``report_threshold`` spam messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Blacklist", "RotatingSpammer"]
+
+
+@dataclass
+class Blacklist:
+    """A reactive source blacklist.
+
+    Args:
+        report_threshold: Spam observations from a source before the
+            community lists it (reporting + propagation lag).
+    """
+
+    report_threshold: int = 100
+    _listed: set[str] = field(default_factory=set)
+    _observations: dict[str, int] = field(default_factory=dict)
+    blocked: int = 0
+    passed: int = 0
+
+    def is_listed(self, source: str) -> bool:
+        """Whether ``source`` is currently on the list."""
+        return source in self._listed
+
+    def check(self, source: str) -> bool:
+        """Filter one arriving message; returns ``True`` if it passes."""
+        if source in self._listed:
+            self.blocked += 1
+            return False
+        self.passed += 1
+        return True
+
+    def report_spam(self, source: str) -> None:
+        """The community observed spam from ``source``; maybe list it."""
+        count = self._observations.get(source, 0) + 1
+        self._observations[source] = count
+        if count >= self.report_threshold:
+            self._listed.add(source)
+
+    @property
+    def listed_count(self) -> int:
+        """How many sources are on the list."""
+        return len(self._listed)
+
+
+@dataclass
+class RotatingSpammer:
+    """A spammer that abandons each source once it gets listed.
+
+    Models the §2.2 evasion: with a fresh pool of hacked hosts the
+    spammer sends ``report_threshold`` messages from each before the list
+    catches up, so the *delivered* fraction stays near 1 while sources
+    last.
+    """
+
+    source_pool: int
+    _next_source: int = 0
+    current: str = ""
+
+    def __post_init__(self) -> None:
+        if self.source_pool <= 0:
+            raise ValueError("source_pool must be positive")
+        self.current = self._name(0)
+
+    def _name(self, index: int) -> str:
+        return f"zombie-{index}"
+
+    def send_source(self, blacklist: Blacklist) -> str | None:
+        """Pick the source for the next message, rotating off listed ones.
+
+        Returns ``None`` when the pool is exhausted (every host listed).
+        """
+        while blacklist.is_listed(self.current):
+            self._next_source += 1
+            if self._next_source >= self.source_pool:
+                return None
+            self.current = self._name(self._next_source)
+        return self.current

@@ -1,0 +1,97 @@
+"""Hashcash proof-of-work (the §2.3 computational-cost baseline).
+
+A real, interoperable-in-spirit implementation of Adam Back's hashcash
+[4]: the sender mints a stamp whose SHA-1 hash has ``bits`` leading zero
+bits; verification is one hash. The paper's criticism is that the
+sender-side cost hits *everyone* — "email systems become significantly
+inefficient in sending and receiving email" and ISPs sending legitimate
+bulk mail (newsletters, receipts) pay it too. Experiment E12 measures
+minting cost versus Zmail's ledger update.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["HashcashStamp", "mint", "verify", "expected_attempts"]
+
+_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class HashcashStamp:
+    """A minted stamp: ``ver:bits:resource:counter``."""
+
+    bits: int
+    resource: str
+    counter: int
+    attempts: int  # how many hashes minting took (for cost accounting)
+
+    def encode(self) -> str:
+        """The stamp string whose hash satisfies the target."""
+        return f"{_VERSION}:{self.bits}:{self.resource}:{self.counter:x}"
+
+
+def _leading_zero_bits(digest: bytes) -> int:
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        for shift in range(7, -1, -1):
+            if byte >> shift:
+                return bits + (7 - shift)
+        return bits
+    return bits
+
+
+def mint(resource: str, bits: int, *, start_counter: int = 0) -> HashcashStamp:
+    """Mint a stamp for ``resource`` with ``bits`` bits of work.
+
+    Expected cost is ``2**bits`` SHA-1 evaluations; with the 20 bits
+    hashcash proposed, about a million hashes per message.
+
+    Raises:
+        ValueError: for a bits value outside the sane 0..40 range.
+    """
+    if not 0 <= bits <= 40:
+        raise ValueError(f"bits must be in [0, 40], got {bits}")
+    counter = start_counter
+    attempts = 0
+    prefix = f"{_VERSION}:{bits}:{resource}:".encode("ascii")
+    while True:
+        attempts += 1
+        candidate = prefix + format(counter, "x").encode("ascii")
+        digest = hashlib.sha1(candidate).digest()
+        if _leading_zero_bits(digest) >= bits:
+            return HashcashStamp(bits, resource, counter, attempts)
+        counter += 1
+
+
+def verify(stamp: HashcashStamp | str, *, resource: str, bits: int) -> bool:
+    """Check a stamp: right resource, right difficulty, hash satisfies it.
+
+    Verification is one hash — the receiver-side asymmetry hashcash
+    relies on.
+    """
+    if isinstance(stamp, HashcashStamp):
+        encoded = stamp.encode()
+    else:
+        encoded = stamp
+    parts = encoded.split(":")
+    if len(parts) != 4 or parts[0] != _VERSION:
+        return False
+    try:
+        stamp_bits = int(parts[1])
+    except ValueError:
+        return False
+    if stamp_bits < bits or parts[2] != resource:
+        return False
+    digest = hashlib.sha1(encoded.encode("ascii")).digest()
+    return _leading_zero_bits(digest) >= stamp_bits
+
+
+def expected_attempts(bits: int) -> int:
+    """Expected SHA-1 evaluations to mint at ``bits`` difficulty."""
+    return 2**bits

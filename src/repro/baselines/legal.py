@@ -1,0 +1,136 @@
+"""Legal approaches to spam (§2.1): jurisdiction and registry models.
+
+The paper's two §2.1 criticisms, made measurable:
+
+1. **Jurisdictional escape** — "spammers can simply move their operations
+   to a country that has no anti-spam laws. In fact, a lot of spammers
+   have already done so" (Sophos, Aug 2004: 57.47% of spam originated
+   outside the U.S.). :class:`JurisdictionModel` evolves the offshore
+   share under enforcement pressure: onshore spammers exit or move, but
+   offshore volume grows to soak up the vacated demand, so total spam
+   barely moves.
+
+2. **The do-not-email registry** — the FTC's 2004 report concluded a
+   registry "would fail to reduce the amount of spam consumers receive,
+   might increase it, and could not be enforced effectively."
+   :class:`RegistryModel` shows why: compliant (onshore, law-abiding)
+   senders suppress listed addresses, but the registry is a verified
+   target list to every rogue spammer who obtains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SOPHOS_OFFSHORE_SHARE_2004", "JurisdictionModel", "RegistryModel"]
+
+# The paper's citation: 57.47% of spam originated outside the U.S.
+SOPHOS_OFFSHORE_SHARE_2004 = 0.5747
+
+
+@dataclass
+class JurisdictionModel:
+    """Spam volume under national anti-spam law enforcement.
+
+    Attributes:
+        onshore_volume / offshore_volume: Messages per period by origin.
+        enforcement_pressure: Per-period probability-mass of onshore
+            operations shut down or fined into exit.
+        relocation_fraction: Of the pressured onshore volume, how much
+            relocates offshore rather than exiting the business.
+        demand_refill: Fraction of genuinely exited volume that offshore
+            entrants replace next period (spam demand is market-driven).
+    """
+
+    onshore_volume: float = 42.53
+    offshore_volume: float = 57.47
+    enforcement_pressure: float = 0.3
+    relocation_fraction: float = 0.8
+    demand_refill: float = 0.9
+    history: list[tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in ("enforcement_pressure", "relocation_fraction", "demand_refill"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} outside [0, 1]")
+        self.history.append((self.onshore_volume, self.offshore_volume))
+
+    def step(self) -> tuple[float, float]:
+        """Advance one enforcement period."""
+        pressured = self.onshore_volume * self.enforcement_pressure
+        relocated = pressured * self.relocation_fraction
+        exited = pressured - relocated
+        self.onshore_volume -= pressured
+        self.offshore_volume += relocated + exited * self.demand_refill
+        self.history.append((self.onshore_volume, self.offshore_volume))
+        return self.history[-1]
+
+    def run(self, periods: int) -> None:
+        """Run several enforcement periods."""
+        for _ in range(periods):
+            self.step()
+
+    @property
+    def total_volume(self) -> float:
+        """Current total spam per period."""
+        return self.onshore_volume + self.offshore_volume
+
+    @property
+    def offshore_share(self) -> float:
+        """Fraction of spam now originating offshore."""
+        total = self.total_volume
+        return self.offshore_volume / total if total else 0.0
+
+    def volume_reduction(self) -> float:
+        """Fractional drop in total spam since period 0."""
+        initial = sum(self.history[0])
+        return 1.0 - self.total_volume / initial if initial else 0.0
+
+
+@dataclass
+class RegistryModel:
+    """The national do-not-email registry, as the FTC feared it.
+
+    Attributes:
+        registered_fraction: Share of all addresses on the registry.
+        lawful_sender_share: Fraction of bulk mail sent by senders who
+            actually honour the registry (onshore, identifiable).
+        leak_probability: Chance the registry (or a scrape of it) reaches
+            rogue spammers, who then *prefer* registered addresses —
+            they are verified-live.
+        rogue_target_boost: Multiplier on rogue volume aimed at leaked
+            registered addresses (verified addresses are worth more).
+    """
+
+    registered_fraction: float = 0.3
+    lawful_sender_share: float = 0.2
+    leak_probability: float = 0.75
+    rogue_target_boost: float = 1.5
+
+    def spam_to_registered_user(self, *, baseline: float = 100.0, leaked: bool) -> float:
+        """Spam per period reaching one registered address.
+
+        Args:
+            baseline: Spam a non-registered user receives per period.
+            leaked: Whether the registry fell into rogue hands.
+        """
+        lawful = baseline * self.lawful_sender_share
+        rogue = baseline * (1.0 - self.lawful_sender_share)
+        if leaked:
+            rogue *= self.rogue_target_boost
+        return rogue  # lawful senders suppress; rogue senders do not
+
+    def expected_change(self, *, baseline: float = 100.0) -> float:
+        """Expected spam change for a registered user vs not registering.
+
+        Positive means the registry *increased* their spam — the FTC's
+        "might increase it".
+        """
+        leaked = self.spam_to_registered_user(baseline=baseline, leaked=True)
+        safe = self.spam_to_registered_user(baseline=baseline, leaked=False)
+        expected = (
+            self.leak_probability * leaked
+            + (1.0 - self.leak_probability) * safe
+        )
+        return expected - baseline

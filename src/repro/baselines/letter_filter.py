@@ -1,0 +1,87 @@
+"""Content filtering wired into the Zmail deployment (hybrid mode).
+
+§5: during incremental deployment a compliant ISP may "require any email
+from a non-compliant ISP to pass a spam filter". This adapter connects
+the :class:`~repro.baselines.bayes_filter.NaiveBayesFilter` to the
+network's FILTER policy: letters carry token content
+(:attr:`~repro.core.transfer.Letter.content`), and the predicate keeps a
+letter when the filter judges it ham.
+
+The crucial asymmetry the hybrid experiment (E17) measures: the filter
+only ever touches *non-compliant* mail — compliant (paid) mail bypasses
+it entirely, so Zmail-side traffic has a structural false-positive rate
+of zero even in a deployment that still runs filters at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.transfer import Letter
+from ..spamcorpus.generator import CorpusGenerator
+from ..spamcorpus.vocabulary import Vocabulary
+from .bayes_filter import NaiveBayesFilter
+
+__all__ = ["train_default_filter", "make_letter_predicate", "ContentProvider"]
+
+
+def train_default_filter(
+    *,
+    n_train: int = 1200,
+    spam_fraction: float = 0.6,
+    extra_overlap: float = 0.0,
+    seed: int = 0,
+    threshold: float = 0.9,
+) -> NaiveBayesFilter:
+    """Train a Bayes filter on a synthetic corpus (one call, sane defaults)."""
+    vocabulary = Vocabulary(extra_overlap=extra_overlap, seed=seed)
+    generator = CorpusGenerator(vocabulary=vocabulary, seed=seed + 1)
+    filt = NaiveBayesFilter(threshold=threshold)
+    n_spam = round(n_train * spam_fraction)
+    filt.train(generator.corpus(n_ham=n_train - n_spam, n_spam=n_spam))
+    return filt
+
+
+def make_letter_predicate(
+    filt: NaiveBayesFilter,
+) -> Callable[[Letter], bool]:
+    """Build the FILTER-policy predicate: ``True`` keeps the letter.
+
+    Letters without content cannot be judged and are kept — filtering
+    blind would guarantee false positives.
+    """
+
+    def keep(letter: Letter) -> bool:
+        if letter.content is None:
+            return True
+        return not filt.classify(letter.content)
+
+    return keep
+
+
+class ContentProvider:
+    """Attach realistic token content to workload messages.
+
+    Draws ham content for normal traffic and (optionally evasive) spam
+    content for spam traffic from a shared vocabulary, so a filter
+    trained on the same distribution behaves as it would on real mail.
+    """
+
+    def __init__(
+        self,
+        *,
+        extra_overlap: float = 0.0,
+        evasion_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        vocabulary = Vocabulary(extra_overlap=extra_overlap, seed=seed)
+        self._generator = CorpusGenerator(vocabulary=vocabulary, seed=seed + 2)
+        self.evasion_rate = evasion_rate
+
+    def ham(self) -> tuple[str, ...]:
+        """Token content for one legitimate message."""
+        return self._generator.ham().tokens
+
+    def spam(self) -> tuple[str, ...]:
+        """Token content for one spam message."""
+        return self._generator.spam(evasion_rate=self.evasion_rate).tokens

@@ -1,0 +1,124 @@
+"""SHRED / Vanquish: receiver-triggered sender payment (§2.3).
+
+The closest prior art to Zmail, and the comparison the paper argues in
+detail. In SHRED [16] and Vanquish [31], the *receiver* of an unwanted
+email triggers a payment from the sender **to the sender's ISP** — not to
+the receiver. The paper lists four weaknesses, each of which this model
+makes measurable:
+
+1. receiver effort *increases* (an extra action per spam to trigger);
+2. receivers are unmotivated (the payment is not theirs), so many never
+   trigger — modelled by ``trigger_probability``;
+3. a spammer colluding with its own ISP pays effectively nothing
+   (the ISP refunds it) and **cannot be detected** — there is no
+   cross-ISP consistency check like Zmail's credit arrays;
+4. every payment is an individual transaction whose processing cost can
+   exceed the penny collected.
+
+Experiments E5 and E6 run this model against Zmail on identical traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShredConfig", "ShredOutcome", "ShredSystem"]
+
+
+@dataclass(frozen=True)
+class ShredConfig:
+    """Parameters of the SHRED-style deployment.
+
+    Attributes:
+        payment_cents: Charge per triggered message (a penny or less).
+        trigger_probability: Chance a receiver bothers to trigger —
+            weakness 2 (they gain nothing personally).
+        processing_cost_cents: ISP's cost to clear one individual
+            micro-payment — weakness 4.
+        colluding_refund: Fraction of a colluding spammer's charges its
+            ISP quietly refunds — weakness 3 (1.0 = full collusion).
+    """
+
+    payment_cents: float = 1.0
+    trigger_probability: float = 0.3
+    processing_cost_cents: float = 2.0
+    colluding_refund: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.payment_cents < 0 or self.processing_cost_cents < 0:
+            raise ValueError("costs must be non-negative")
+        if not 0.0 <= self.trigger_probability <= 1.0:
+            raise ValueError("trigger_probability outside [0, 1]")
+        if not 0.0 <= self.colluding_refund <= 1.0:
+            raise ValueError("colluding_refund outside [0, 1]")
+
+
+@dataclass
+class ShredOutcome:
+    """Aggregate result of running SHRED over a traffic batch."""
+
+    spam_received: int = 0
+    triggers: int = 0
+    receiver_actions: int = 0
+    spammer_paid_cents: float = 0.0
+    spammer_refunded_cents: float = 0.0
+    isp_processing_cost_cents: float = 0.0
+    payment_transactions: int = 0
+
+    @property
+    def effective_spammer_cost_cents(self) -> float:
+        """What spam actually cost the spammer after collusion refunds."""
+        return self.spammer_paid_cents - self.spammer_refunded_cents
+
+    @property
+    def processing_exceeds_collections(self) -> bool:
+        """Weakness 4: clearing costs more than it collects."""
+        return self.isp_processing_cost_cents > self.spammer_paid_cents
+
+
+class ShredSystem:
+    """Drives the SHRED model over spam deliveries.
+
+    Example:
+        >>> import random
+        >>> system = ShredSystem(ShredConfig(trigger_probability=1.0))
+        >>> outcome = system.run_campaign(
+        ...     spam_messages=100, colluding=False, rng=random.Random(0))
+        >>> outcome.triggers
+        100
+    """
+
+    def __init__(self, config: ShredConfig | None = None) -> None:
+        self.config = config or ShredConfig()
+
+    def run_campaign(
+        self, *, spam_messages: int, colluding: bool, rng
+    ) -> ShredOutcome:
+        """Deliver a spam campaign and let receivers trigger payments."""
+        if spam_messages < 0:
+            raise ValueError("spam_messages must be non-negative")
+        cfg = self.config
+        outcome = ShredOutcome(spam_received=spam_messages)
+        for _ in range(spam_messages):
+            if rng.random() >= cfg.trigger_probability:
+                continue
+            outcome.triggers += 1
+            outcome.receiver_actions += 1  # weakness 1: extra work per spam
+            outcome.payment_transactions += 1
+            outcome.spammer_paid_cents += cfg.payment_cents
+            outcome.isp_processing_cost_cents += cfg.processing_cost_cents
+            if colluding:
+                outcome.spammer_refunded_cents += (
+                    cfg.payment_cents * cfg.colluding_refund
+                )
+        return outcome
+
+    @staticmethod
+    def collusion_detectable() -> bool:
+        """Weakness 3: SHRED has no cross-ISP audit, so never detects it.
+
+        The payment loop is entirely inside the sender's ISP; no other
+        party holds a record to check it against (contrast Zmail's
+        credit-array anti-symmetry, which any honest counterparty breaks).
+        """
+        return False

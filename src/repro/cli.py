@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map onto the library's headline capabilities so a user can see
+the system work without writing code:
+
+* ``quickstart``  — tiny two-ISP deployment, zero-sum accounting.
+* ``breakeven``   — the §1.2 spammer break-even table.
+* ``compare``     — the §2 baseline comparison table.
+* ``adoption``    — the §5 incremental-deployment S-curve.
+* ``spec-check``  — model-check the §4 formal spec (optionally cheating).
+* ``zombie``      — the §5 zombie-containment scenario.
+* ``scenario``    — kitchen-sink mixed simulation via the Scenario API.
+* ``audit``       — the solvency audit catching an e-penny-minting ISP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zmail (ICDCS 2005) reproduction — runnable scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser("quickstart", help="two-ISP zero-sum demo")
+    quickstart.add_argument("--messages", type=int, default=5)
+
+    sub.add_parser("breakeven", help="§1.2 spammer break-even table")
+    sub.add_parser("compare", help="§2 baseline comparison table")
+
+    adoption = sub.add_parser("adoption", help="§5 adoption S-curve")
+    adoption.add_argument("--isps", type=int, default=100)
+    adoption.add_argument("--propensity", type=float, default=0.15)
+    adoption.add_argument("--seed", type=int, default=3)
+
+    spec = sub.add_parser("spec-check", help="model-check the §4 formal spec")
+    spec.add_argument("--steps", type=int, default=3000)
+    spec.add_argument("--isps", type=int, default=3)
+    spec.add_argument("--users", type=int, default=3)
+    spec.add_argument("--seed", type=int, default=7)
+    spec.add_argument(
+        "--cheat", action="store_true",
+        help="inject a credit-inflating cheater at isp[1]",
+    )
+
+    zombie = sub.add_parser("zombie", help="§5 zombie containment scenario")
+    zombie.add_argument("--limit", type=int, default=40)
+
+    scenario = sub.add_parser(
+        "scenario", help="kitchen-sink mixed simulation (Scenario API)"
+    )
+    scenario.add_argument("--days", type=int, default=3)
+    scenario.add_argument("--seed", type=int, default=42)
+
+    audit = sub.add_parser(
+        "audit", help="solvency audit demo: catch an e-penny-minting ISP"
+    )
+    audit.add_argument("--mint", type=int, default=5000)
+    return parser
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    from .core import ZmailNetwork
+    from .sim import Address
+
+    net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=1)
+    alice, bob = Address(0, 1), Address(1, 2)
+    for _ in range(args.messages):
+        net.send(alice, bob)
+    sender = net.isps[0].ledger.user(1)
+    receiver = net.isps[1].ledger.user(2)
+    print(f"{alice} sent {sender.lifetime_sent} messages, "
+          f"balance {sender.balance}")
+    print(f"{bob} received {receiver.lifetime_received}, "
+          f"balance {receiver.balance}")
+    print(f"reconciliation consistent: {net.reconcile('direct').consistent}")
+    print(f"conserved: {net.total_value() == net.expected_total_value()}")
+    return 0
+
+
+def cmd_breakeven(args: argparse.Namespace) -> int:
+    from .economics import break_even_table, cost_increase_factor
+
+    print(f"per-message cost factor under Zmail: {cost_increase_factor():.0f}x")
+    print(f"{'campaign':<16} {'sq volume':>12} {'zmail volume':>13} survives")
+    for row in break_even_table():
+        print(f"{row.campaign:<16} {row.statusquo_volume:>12,} "
+              f"{row.zmail_volume:>13,} {'yes' if row.survives else 'no':>8}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines import ComparisonScenario, run_comparison
+
+    results = run_comparison(ComparisonScenario(n_train=800, n_test=800))
+    print(f"{'approach':<22} {'blocked':>8} {'ham lost':>9} "
+          f"{'$/msg':>8} {'needs defn':>10}")
+    for result in results:
+        print(f"{result.approach:<22} "
+              f"{result.spam_blocked_fraction:>7.0%} "
+              f"{result.ham_lost_fraction:>8.1%} "
+              f"{result.sender_dollar_cost_per_msg:>8.4f} "
+              f"{'yes' if result.needs_spam_definition else 'no':>10}")
+    return 0
+
+
+def cmd_adoption(args: argparse.Namespace) -> int:
+    from .core import AdoptionParams, AdoptionSimulation
+
+    sim = AdoptionSimulation(
+        AdoptionParams(
+            n_isps=args.isps,
+            base_switch_propensity=args.propensity,
+            seed=args.seed,
+        )
+    )
+    sim.run(max_rounds=100)
+    for record in sim.rounds[:: max(1, len(sim.rounds) // 15)]:
+        bar = "#" * int(40 * record.compliant_fraction)
+        print(f"round {record.round_index:>3}: {bar:<40} "
+              f"{record.compliant_fraction:.0%}")
+    print(f"positive feedback: {sim.has_positive_feedback()}")
+    return 0
+
+
+def cmd_spec_check(args: argparse.Namespace) -> int:
+    from .apn import CheatMode, ZmailSpecConfig, build_zmail_protocol
+
+    cheaters = {1: CheatMode.INFLATE_SENT} if args.cheat else {}
+    config = ZmailSpecConfig(
+        n=args.isps, m=args.users, seed=args.seed, key_bits=128,
+        cheaters=cheaters,
+    )
+    protocol = build_zmail_protocol(config)
+    steps = protocol.run(args.steps)
+    print(f"steps executed:        {steps}")
+    print(f"reconciliation rounds: {protocol.completed_rounds()}")
+    print(f"flagged pairs:         {len(protocol.flagged_pairs())}")
+    if args.cheat:
+        flagged = {isp for pair in protocol.flagged_pairs() for isp in pair}
+        caught = 1 in flagged
+        print(f"cheater isp[1] caught: {caught}")
+        return 0 if caught else 1
+    return 0 if not protocol.flagged_pairs() else 1
+
+
+def cmd_zombie(args: argparse.Namespace) -> int:
+    from .core import ZmailConfig, ZmailNetwork
+    from .core.zombie import ZombieMonitor
+    from .sim import Address
+
+    config = ZmailConfig(
+        default_daily_limit=args.limit,
+        default_user_balance=1000,
+        auto_topup_amount=0,
+    )
+    net = ZmailNetwork(n_isps=2, users_per_isp=5, config=config, seed=2)
+    zombie = Address(0, 1)
+    for i in range(10 * args.limit):
+        net.send(zombie, Address(1, i % 5))
+    monitor = ZombieMonitor(net)
+    monitor.poll()
+    user = net.isps[0].ledger.user(1)
+    print(f"daily limit:     {args.limit}")
+    print(f"zombie detected: {monitor.detected(zombie)}")
+    print(f"liability:       {1000 - user.balance} e-pennies (bound: "
+          f"{args.limit})")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .core import NonCompliantMailPolicy, ZmailConfig
+    from .core.scenario import Scenario, SpammerSpec, ZombieSpec
+    from .sim import DAY, HOUR, Address
+
+    result = Scenario(
+        n_isps=4,
+        users_per_isp=10,
+        compliant=[True, True, True, False],
+        config=ZmailConfig(
+            default_daily_limit=80,
+            noncompliant_policy=NonCompliantMailPolicy.SEGREGATE,
+            auto_topup_amount=0,
+        ),
+        seed=args.seed,
+        duration=args.days * DAY,
+        spammers=[
+            SpammerSpec(Address(0, 0), volume=500, war_chest=100),
+            SpammerSpec(Address(3, 0), volume=500),
+        ],
+        zombies=[
+            ZombieSpec(Address(1, 9), rate_per_hour=100.0,
+                       start=DAY, end=DAY + 6 * HOUR)
+        ],
+        reconcile_every=DAY,
+    ).run()
+    for key, value in result.summary().items():
+        print(f"{key:<24} {value}")
+    return 0 if (result.conserved and result.all_reconciliations_consistent) else 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    import random
+
+    from .core import ZmailConfig, ZmailNetwork
+    from .core.audit import EconomicAuditor
+    from .sim import Address
+
+    config = ZmailConfig(
+        initial_pool=500, minavail=200, maxavail=900,
+        default_user_balance=50, auto_topup_amount=10,
+    )
+    net = ZmailNetwork(n_isps=3, users_per_isp=8, config=config, seed=18)
+    auditor = EconomicAuditor()
+    endowment = config.initial_pool + 8 * config.default_user_balance
+    for isp_id in net.compliant_isps():
+        auditor.register_isp(isp_id, initial_endowment=endowment)
+    net.isps[1].ledger.pool += args.mint
+    print(f"isp1 secretly minted {args.mint} e-pennies...")
+
+    rng = random.Random(18)
+    for day in range(1, 15):
+        for _ in range(300):
+            net.send(Address(rng.randrange(3), rng.randrange(8)),
+                     Address(rng.randrange(3), rng.randrange(8)))
+        isps = net.compliant_isps()
+        for isp in isps.values():
+            isp.begin_snapshot(net.bank.next_seq)
+        reports = {}
+        for isp_id, isp in sorted(isps.items()):
+            reports[isp_id] = isp.snapshot_reply()
+            isp.resume_sending()
+        net.bank.reconcile(reports)
+        auditor.ingest_credit_reports(reports)
+        before = {i: net.bank.account_balance(i) for i in isps}
+        net.advance_day_to(day)
+        for isp_id in isps:
+            delta = net.bank.account_balance(isp_id) - before[isp_id]
+            if delta < 0:
+                auditor.note_purchase(isp_id, -delta)
+            elif delta > 0:
+                auditor.note_sale(isp_id, delta)
+    alerts = auditor.check()
+    for alert in alerts:
+        print(f"ALERT: isp{alert.isp_id} sold {alert.sold} e-pennies, "
+              f"solvency ceiling {alert.ceiling} (excess {alert.excess})")
+    if not alerts:
+        print("all clear")
+    caught = any(a.isp_id == 1 for a in alerts) if args.mint else not alerts
+    return 0 if caught else 1
+
+
+_COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "breakeven": cmd_breakeven,
+    "compare": cmd_compare,
+    "adoption": cmd_adoption,
+    "spec-check": cmd_spec_check,
+    "zombie": cmd_zombie,
+    "scenario": cmd_scenario,
+    "audit": cmd_audit,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

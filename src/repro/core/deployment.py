@@ -1,0 +1,190 @@
+"""Incremental deployment dynamics (§1.3, §5).
+
+The paper's adoption argument is a positive-feedback loop: Zmail starts
+with two compliant ISPs; users of compliant ISPs suffer less spam; their
+good experience pulls users (and therefore ISPs) into compliance, which
+strengthens the incentive further.
+
+:class:`AdoptionSimulation` makes that loop concrete and measurable. In
+each round:
+
+1. spam pressure is computed per ISP — non-compliant ISPs relay spam
+   freely, compliant ISPs price it away and can additionally discard
+   non-compliant mail as more of the network complies;
+2. each non-compliant ISP flips compliant with probability increasing in
+   the *experienced advantage* (spam avoided by compliant peers) times a
+   network-effect term (fraction of mail exchanged with compliant ISPs);
+3. metrics are recorded so experiment E9 can plot the S-curve and verify
+   that feedback is positive (adoption rate grows with adoption level in
+   the early-to-middle regime).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .config import NonCompliantMailPolicy
+
+__all__ = ["AdoptionParams", "AdoptionRound", "AdoptionSimulation"]
+
+
+@dataclass(frozen=True)
+class AdoptionParams:
+    """Tunable forces in the adoption model.
+
+    Attributes:
+        n_isps: ISP population size.
+        initial_compliant: How many ISPs start compliant (paper: two).
+        spam_fraction: Share of traffic that is spam in the status quo
+            (the paper cites Brightmail's 60%).
+        base_switch_propensity: Probability scale for flipping compliant
+            when the advantage is maximal.
+        network_effect_weight: How strongly the compliant fraction itself
+            amplifies the incentive (0 = none, 1 = linear).
+        policy: What compliant ISPs do with non-compliant mail; stricter
+            policies raise the pressure on non-compliant ISPs.
+        seed: RNG seed.
+    """
+
+    n_isps: int = 100
+    initial_compliant: int = 2
+    spam_fraction: float = 0.6
+    base_switch_propensity: float = 0.25
+    network_effect_weight: float = 1.0
+    policy: NonCompliantMailPolicy = NonCompliantMailPolicy.SEGREGATE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.initial_compliant <= self.n_isps:
+            raise ValueError("need 2 <= initial_compliant <= n_isps")
+        if not 0.0 <= self.spam_fraction <= 1.0:
+            raise ValueError("spam_fraction outside [0, 1]")
+        if not 0.0 <= self.base_switch_propensity <= 1.0:
+            raise ValueError("base_switch_propensity outside [0, 1]")
+
+
+_POLICY_PRESSURE = {
+    NonCompliantMailPolicy.DELIVER: 0.25,
+    NonCompliantMailPolicy.FILTER: 0.5,
+    NonCompliantMailPolicy.SEGREGATE: 0.75,
+    NonCompliantMailPolicy.DISCARD: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class AdoptionRound:
+    """State after one adoption round."""
+
+    round_index: int
+    compliant_count: int
+    newly_compliant: int
+    compliant_fraction: float
+    spam_seen_by_compliant_user: float
+    spam_seen_by_noncompliant_user: float
+
+
+@dataclass
+class AdoptionSimulation:
+    """Round-based positive-feedback adoption model."""
+
+    params: AdoptionParams
+    rounds: list[AdoptionRound] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.params.seed)
+        self._compliant = [
+            i < self.params.initial_compliant for i in range(self.params.n_isps)
+        ]
+        self._record(round_index=0, newly=self.params.initial_compliant)
+
+    # -- model ------------------------------------------------------------------------
+
+    def _spam_exposure(self, compliant: bool, fraction: float) -> float:
+        """Spam an average user of this ISP class sees per unit mail.
+
+        A compliant ISP's users receive essentially no paid spam (priced
+        out) and — depending on policy — a suppressed share of the spam
+        arriving from the non-compliant remainder. A non-compliant ISP's
+        users see the full status-quo spam load.
+        """
+        spam = self.params.spam_fraction
+        if not compliant:
+            return spam
+        pressure = _POLICY_PRESSURE[self.params.policy]
+        noncompliant_share = 1.0 - fraction
+        return spam * noncompliant_share * (1.0 - pressure)
+
+    def step(self) -> AdoptionRound:
+        """Advance one round; returns its record."""
+        n = self.params.n_isps
+        fraction = sum(self._compliant) / n
+        advantage = self._spam_exposure(False, fraction) - self._spam_exposure(
+            True, fraction
+        )
+        # Network effect: the more peers are compliant, the more of your
+        # correspartners' mail you lose by staying out.
+        amplifier = 1.0 + self.params.network_effect_weight * fraction
+        p_switch = min(
+            1.0, self.params.base_switch_propensity * advantage * amplifier
+        )
+        newly = 0
+        for i in range(n):
+            if not self._compliant[i] and self._rng.random() < p_switch:
+                self._compliant[i] = True
+                newly += 1
+        return self._record(round_index=len(self.rounds), newly=newly)
+
+    def _record(self, *, round_index: int, newly: int) -> AdoptionRound:
+        count = sum(self._compliant)
+        fraction = count / self.params.n_isps
+        record = AdoptionRound(
+            round_index=round_index,
+            compliant_count=count,
+            newly_compliant=newly,
+            compliant_fraction=fraction,
+            spam_seen_by_compliant_user=self._spam_exposure(True, fraction),
+            spam_seen_by_noncompliant_user=self._spam_exposure(False, fraction),
+        )
+        self.rounds.append(record)
+        return record
+
+    def run(self, max_rounds: int = 50) -> list[AdoptionRound]:
+        """Run until full adoption or ``max_rounds``; returns the history."""
+        for _ in range(max_rounds):
+            record = self.step()
+            if record.compliant_count == self.params.n_isps:
+                break
+        return self.rounds
+
+    # -- analysis -----------------------------------------------------------------------
+
+    def rounds_to_fraction(self, target: float) -> int | None:
+        """First round index reaching ``target`` compliant fraction."""
+        for record in self.rounds:
+            if record.compliant_fraction >= target:
+                return record.round_index
+        return None
+
+    def has_positive_feedback(self) -> bool:
+        """Whether the per-ISP switching hazard grows with adoption level.
+
+        The paper's qualitative claim is a feedback loop: the more ISPs
+        comply, the stronger each holdout's incentive to comply. Absolute
+        per-round adoption counts shrink late in the ramp simply because
+        the holdout pool empties, so the right statistic is the *hazard*
+        — newly compliant divided by the holdouts exposed that round.
+        """
+        n = self.params.n_isps
+        hazards = []
+        for record in self.rounds[1:]:
+            holdouts_before = n - (record.compliant_count - record.newly_compliant)
+            if holdouts_before <= 0 or record.compliant_fraction >= 0.95:
+                break
+            hazards.append(record.newly_compliant / holdouts_before)
+        if len(hazards) < 4:
+            return True  # adoption so fast there is no ramp to test
+        half = len(hazards) // 2
+        early = sum(hazards[:half]) / half
+        late = sum(hazards[half:]) / (len(hazards) - half)
+        return late >= early

@@ -1,0 +1,74 @@
+"""The e-penny: Zmail's unit of account.
+
+"The cost of sending (or value of receiving) one email message is a unit
+called an e-penny. For simplicity, assume that the 'real money' cost of
+one e-penny is $0.01." (§1.2)
+
+All monetary quantities in the library are **integer** e-pennies or
+integer real pennies — money paths never touch floats. Conversions to
+dollars exist only at reporting boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EPENNY_PRICE_DOLLARS",
+    "EMAIL_COST_EPENNIES",
+    "epennies_to_dollars",
+    "dollars_to_epennies",
+    "Money",
+]
+
+# The paper's simplifying assumption: one e-penny costs one real cent.
+EPENNY_PRICE_DOLLARS = 0.01
+
+# Zmail charges exactly one e-penny per message.
+EMAIL_COST_EPENNIES = 1
+
+
+def epennies_to_dollars(amount: int) -> float:
+    """Convert an integer e-penny amount to dollars (reporting only)."""
+    return amount * EPENNY_PRICE_DOLLARS
+
+
+def dollars_to_epennies(dollars: float) -> int:
+    """Convert dollars to whole e-pennies, rounding toward zero."""
+    return int(dollars / EPENNY_PRICE_DOLLARS)
+
+
+@dataclass(frozen=True)
+class Money:
+    """A labelled integer amount, preventing unit mix-ups in interfaces.
+
+    ``currency`` is ``"epenny"`` or ``"penny"`` (real cents). Arithmetic is
+    only defined between like currencies.
+    """
+
+    amount: int
+    currency: str = "epenny"
+
+    def __post_init__(self) -> None:
+        if self.currency not in ("epenny", "penny"):
+            raise ValueError(f"unknown currency {self.currency!r}")
+
+    def __add__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount + other.amount, self.currency)
+
+    def __sub__(self, other: "Money") -> "Money":
+        self._check(other)
+        return Money(self.amount - other.amount, self.currency)
+
+    def _check(self, other: "Money") -> None:
+        if not isinstance(other, Money):
+            raise TypeError(f"cannot combine Money with {type(other).__name__}")
+        if other.currency != self.currency:
+            raise ValueError(
+                f"currency mismatch: {self.currency} vs {other.currency}"
+            )
+
+    def __str__(self) -> str:
+        unit = "e¢" if self.currency == "epenny" else "¢"
+        return f"{self.amount}{unit}"

@@ -1,0 +1,184 @@
+"""Mailing lists under Zmail (§5).
+
+A list distributor pays one e-penny per subscriber per post — ruinous for
+volunteer lists — so the paper defines an automated acknowledgment: the
+receiving ISP (or client) generates a special ack email returning the
+e-penny to the distributor, processed automatically rather than delivered
+to a human inbox. A side benefit is hygiene: subscribers who never
+acknowledge are detectably stale and can be pruned.
+
+:class:`ListServer` implements the distributor: the subscriber database,
+per-post token issuing, ack matching, economics accounting and the
+pruning policy. It drives any :class:`~repro.core.protocol.ZmailNetwork`
+(the distributor is just a user with a big send limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.workload import Address, TrafficKind
+from .protocol import ZmailNetwork
+from .transfer import SendStatus
+
+__all__ = ["Subscriber", "PostOutcome", "ListServer"]
+
+
+@dataclass
+class Subscriber:
+    """One list member and their acknowledgment history."""
+
+    address: Address
+    acks_sent: int = 0
+    posts_received: int = 0
+    consecutive_missed: int = 0
+
+    @property
+    def ack_rate(self) -> float:
+        """Fraction of received posts this subscriber acknowledged."""
+        if self.posts_received == 0:
+            return 0.0
+        return self.acks_sent / self.posts_received
+
+
+@dataclass
+class PostOutcome:
+    """Economics of one list distribution."""
+
+    post_id: int
+    recipients: int
+    sent_ok: int
+    blocked: int
+    acked: int = 0
+    pruned: list[Address] = field(default_factory=list)
+
+    @property
+    def net_epenny_cost(self) -> int:
+        """Distributor's out-of-pocket cost after acknowledgments."""
+        return self.sent_ok - self.acked
+
+
+class ListServer:
+    """A mailing-list distributor on a Zmail network.
+
+    Args:
+        network: The deployment the list lives on.
+        distributor: The list's own address (must be on a compliant ISP).
+        prune_after_misses: Remove subscribers after this many consecutive
+            unacknowledged posts (0 disables pruning).
+    """
+
+    def __init__(
+        self,
+        network: ZmailNetwork,
+        distributor: Address,
+        *,
+        prune_after_misses: int = 3,
+    ) -> None:
+        self.network = network
+        self.distributor = distributor
+        self.prune_after_misses = prune_after_misses
+        self._subscribers: dict[Address, Subscriber] = {}
+        self.posts: list[PostOutcome] = []
+        self._next_post_id = 0
+
+    # -- subscriber database ----------------------------------------------------------
+
+    def subscribe(self, address: Address) -> None:
+        """Add a subscriber (idempotent)."""
+        self._subscribers.setdefault(address, Subscriber(address))
+
+    def unsubscribe(self, address: Address) -> None:
+        """Remove a subscriber if present."""
+        self._subscribers.pop(address, None)
+
+    def subscribers(self) -> list[Address]:
+        """Current membership, sorted."""
+        return sorted(self._subscribers)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    # -- distribution ------------------------------------------------------------------
+
+    def post(self, *, ack_probability_fn=None) -> PostOutcome:
+        """Distribute one message to every subscriber.
+
+        Args:
+            ack_probability_fn: ``fn(address) -> bool`` deciding whether
+                that subscriber's ISP/client acknowledges (models stale
+                addresses and non-compliant receivers, who cannot return
+                e-pennies). Defaults to everyone-acknowledges.
+
+        The distributor pays one e-penny per successfully sent copy; each
+        acknowledging subscriber triggers an automated ack email paying
+        one e-penny back. Ack emails are Zmail emails like any other —
+        they cost the *subscriber's* balance one e-penny and return it to
+        the distributor — so the end state is exactly "the distributor
+        posts for free, subscribers pay one e-penny per post received",
+        the §5 economics.
+        """
+        outcome = PostOutcome(
+            post_id=self._next_post_id,
+            recipients=len(self._subscribers),
+            sent_ok=0,
+            blocked=0,
+        )
+        self._next_post_id += 1
+
+        for address, subscriber in sorted(self._subscribers.items()):
+            receipt = self.network.send(
+                self.distributor, address, TrafficKind.MAILING_LIST
+            )
+            if receipt.status in (
+                SendStatus.SENT_PAID,
+                SendStatus.DELIVERED_LOCAL,
+            ):
+                outcome.sent_ok += 1
+                subscriber.posts_received += 1
+                acked = (
+                    ack_probability_fn(address)
+                    if ack_probability_fn is not None
+                    else True
+                )
+                if acked and self._send_ack(address):
+                    outcome.acked += 1
+                    subscriber.acks_sent += 1
+                    subscriber.consecutive_missed = 0
+                else:
+                    subscriber.consecutive_missed += 1
+            elif receipt.status is SendStatus.SENT_UNPAID:
+                # Non-compliant subscriber ISP: free to send, but no ack
+                # mechanism exists there — still counts as a missed ack.
+                outcome.sent_ok += 1
+                subscriber.posts_received += 1
+                subscriber.consecutive_missed += 1
+            else:
+                outcome.blocked += 1
+
+        outcome.pruned = self._prune()
+        self.posts.append(outcome)
+        return outcome
+
+    def _send_ack(self, subscriber: Address) -> bool:
+        """The subscriber's ISP returns the e-penny via an ack email."""
+        receipt = self.network.send(subscriber, self.distributor, TrafficKind.ACK)
+        return receipt.status in (SendStatus.SENT_PAID, SendStatus.DELIVERED_LOCAL)
+
+    def _prune(self) -> list[Address]:
+        if self.prune_after_misses <= 0:
+            return []
+        stale = [
+            address
+            for address, sub in self._subscribers.items()
+            if sub.consecutive_missed >= self.prune_after_misses
+        ]
+        for address in stale:
+            del self._subscribers[address]
+        return sorted(stale)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def total_net_cost(self) -> int:
+        """Distributor's cumulative e-penny cost across all posts."""
+        return sum(p.net_epenny_cost for p in self.posts)

@@ -1,0 +1,465 @@
+"""The Zmail deployment glue: users, ISPs, the bank, and a transport.
+
+:class:`ZmailNetwork` assembles a complete deployment — ``n`` ISPs (a
+configurable subset compliant), ``m`` users each, one central bank — and
+routes :class:`~repro.sim.workload.SendRequest` traffic through it.
+
+Two drive modes share all of the protocol logic:
+
+* **direct mode** (no engine): sends deliver synchronously. Fast enough
+  for the million-message economics experiments; snapshots are trivially
+  consistent.
+* **engine mode** (with a :class:`~repro.sim.engine.Engine`): letters
+  travel over a FIFO latency/loss network, midnight resets and
+  reconciliation run on virtual time, and the §4.4 snapshot methods can
+  actually race with in-flight mail.
+
+The network also implements the operational conveniences the paper
+describes informally: automatic e-penny top-up from a user's real-money
+deposit, ISP pool rebalancing against the bank (§4.3), and the published
+compliance directory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..crypto import NonceSource
+from ..errors import InsufficientBalance, SimulationError
+from ..sim.clock import DAY
+from ..sim.engine import Engine
+from ..sim.metrics import MetricsRegistry
+from ..sim.network import LinkSpec, Network
+from ..sim.rng import SeededStreams
+from ..sim.workload import Address, SendRequest, TrafficKind
+from .bank import Bank
+from .config import ZmailConfig
+from .isp import CompliantISP, NonCompliantISP
+from .misbehavior import ReconciliationReport
+from .snapshot import (
+    DirectSnapshotCoordinator,
+    MarkerSnapshotCoordinator,
+    SnapshotMarker,
+    SnapshotReply,
+    SnapshotRequest,
+    TimeoutSnapshotCoordinator,
+)
+from .transfer import Letter, SendReceipt, SendStatus
+
+__all__ = ["ZmailNetwork"]
+
+
+class _IspEndpoint:
+    """Adapter giving an ISP a :class:`~repro.sim.network.Network` mailbox."""
+
+    def __init__(self, network: "ZmailNetwork", isp_id: int) -> None:
+        self._network = network
+        self.isp_id = isp_id
+
+    def on_message(self, src: str, payload: object) -> None:
+        self._network._on_isp_message(self.isp_id, payload)
+
+
+class _BankEndpoint:
+    """Adapter for the bank's mailbox (snapshot replies)."""
+
+    def __init__(self, network: "ZmailNetwork") -> None:
+        self._network = network
+
+    def on_message(self, src: str, payload: object) -> None:
+        self._network._on_bank_message(payload)
+
+
+class ZmailNetwork:
+    """A complete Zmail deployment, drivable by workload streams.
+
+    Args:
+        n_isps: Number of ISPs.
+        users_per_isp: Users created at each ISP.
+        compliant: Per-ISP compliance flags; defaults to all compliant.
+        config: Deployment parameters shared by all compliant ISPs.
+        seed: Root seed for nonces and the latency network.
+        engine: Attach to this discrete-event engine (engine mode); omit
+            for synchronous direct mode.
+        link: Latency/loss characteristics for engine mode.
+
+    Example (direct mode)::
+
+        net = ZmailNetwork(n_isps=2, users_per_isp=10)
+        receipt = net.send(Address(0, 1), Address(1, 2))
+        assert receipt.status is SendStatus.SENT_PAID
+    """
+
+    def __init__(
+        self,
+        *,
+        n_isps: int,
+        users_per_isp: int,
+        compliant: Iterable[bool] | None = None,
+        config: ZmailConfig | None = None,
+        seed: int = 0,
+        engine: Engine | None = None,
+        link: LinkSpec | None = None,
+    ) -> None:
+        if n_isps <= 0 or users_per_isp <= 0:
+            raise ValueError("need at least one ISP and one user per ISP")
+        self.config = config or ZmailConfig()
+        self.n_isps = n_isps
+        self.users_per_isp = users_per_isp
+        flags = list(compliant) if compliant is not None else [True] * n_isps
+        if len(flags) != n_isps:
+            raise ValueError("compliant flags length must equal n_isps")
+
+        self.bank = Bank(use_crypto=self.config.use_crypto, seed=seed)
+        self.isps: dict[int, CompliantISP | NonCompliantISP] = {}
+        self._nonce_sources: dict[int, NonceSource] = {}
+        for isp_id, is_compliant in enumerate(flags):
+            if is_compliant:
+                self.isps[isp_id] = CompliantISP(
+                    isp_id, users_per_isp, self.config
+                )
+                self.bank.register_isp(
+                    isp_id, initial_account=self.config.initial_bank_account
+                )
+                self._nonce_sources[isp_id] = NonceSource(
+                    seed ^ 0x5EED, owner=f"isp{isp_id}"
+                )
+            else:
+                self.isps[isp_id] = NonCompliantISP(isp_id, users_per_isp)
+        self._push_directory()
+
+        self.metrics = MetricsRegistry()
+        self.paid_letters_in_flight = 0
+        self._last_day_seen = 0
+        self._external_deposit = 0
+        self._bank_reply_handler = None
+        self.last_report: ReconciliationReport | None = None
+
+        self.engine = engine
+        self.net: Network | None = None
+        self._active_coordinator: object | None = None
+        if engine is not None:
+            streams = SeededStreams(seed)
+            self.net = Network(engine, streams, default_link=link or LinkSpec())
+            for isp_id in range(n_isps):
+                self.net.register(f"isp{isp_id}", _IspEndpoint(self, isp_id))
+            self.net.register("bank", _BankEndpoint(self))
+
+    # -- directory ---------------------------------------------------------------
+
+    def _push_directory(self) -> None:
+        directory = self.bank.compliance_directory()
+        # Non-compliant ISPs are absent from the bank; fill them in as False.
+        for isp_id in range(self.n_isps):
+            directory.setdefault(isp_id, False)
+        for isp in self.isps.values():
+            if isinstance(isp, CompliantISP):
+                isp.update_compliance(directory)
+
+    def compliant_isps(self) -> dict[int, CompliantISP]:
+        """The compliant subset, keyed by ISP id."""
+        return {
+            isp_id: isp
+            for isp_id, isp in self.isps.items()
+            if isinstance(isp, CompliantISP)
+        }
+
+    def make_compliant(self, isp_id: int) -> None:
+        """Convert a non-compliant ISP to compliant (incremental deployment).
+
+        User mailboxes start fresh; the bank opens an account and the
+        directory update is broadcast, exactly the §5 adoption step.
+        """
+        isp = self.isps[isp_id]
+        if isinstance(isp, CompliantISP):
+            return
+        self.isps[isp_id] = CompliantISP(isp_id, self.users_per_isp, self.config)
+        self.bank.register_isp(
+            isp_id, initial_account=self.config.initial_bank_account
+        )
+        self._nonce_sources[isp_id] = NonceSource(0x5EED ^ isp_id, owner=f"isp{isp_id}")
+        self._push_directory()
+
+    # -- funding helpers --------------------------------------------------------------
+
+    def fund_user(
+        self, address: Address, *, pennies: int = 0, epennies: int = 0
+    ) -> None:
+        """Top up a user's purses directly (workload setup, e.g. spammers).
+
+        Both injections are out-of-band endowments (real deposit, e-penny
+        grant) tracked in :meth:`expected_total_value` so conservation
+        audits still balance.
+        """
+        isp = self.isps[address.isp]
+        if not isinstance(isp, CompliantISP):
+            return
+        user = isp.ledger.user(address.user)
+        if pennies:
+            user.credit_pennies(pennies)
+            self._external_deposit += pennies
+        if epennies:
+            user.credit_epennies(epennies)
+            self._external_deposit += epennies
+
+    # -- sending ------------------------------------------------------------------------
+
+    def send(
+        self,
+        sender: Address,
+        recipient: Address,
+        kind: TrafficKind = TrafficKind.NORMAL,
+        *,
+        content: tuple[str, ...] | None = None,
+    ) -> SendReceipt:
+        """Route one send attempt through the sender's ISP.
+
+        In direct mode a produced letter is delivered immediately; in
+        engine mode it is handed to the latency network. ``content``
+        optionally attaches the message's tokens for content-based
+        receiving policies (FILTER).
+        """
+        if not (0 <= sender.isp < self.n_isps and 0 <= recipient.isp < self.n_isps):
+            raise SimulationError(f"address out of range: {sender} -> {recipient}")
+        isp = self.isps[sender.isp]
+        receipt = isp.submit(sender.user, recipient, kind, content)
+        if (
+            receipt.status is SendStatus.BLOCKED_BALANCE
+            and isinstance(isp, CompliantISP)
+            and self.config.auto_topup_amount > 0
+        ):
+            receipt = self._retry_with_topup(isp, sender, recipient, kind, content)
+        self.metrics.counter(f"send.{receipt.status.value}").increment()
+        self.metrics.counter(f"send.kind.{kind.value}").increment()
+        if receipt.letter is not None:
+            self._route_letter(receipt.letter)
+        return receipt
+
+    def _retry_with_topup(
+        self,
+        isp: CompliantISP,
+        sender: Address,
+        recipient: Address,
+        kind: TrafficKind,
+        content: tuple[str, ...] | None = None,
+    ) -> SendReceipt:
+        """Auto top-up: buy e-pennies from the pool and retry once."""
+        user = isp.ledger.user(sender.user)
+        amount = min(
+            self.config.auto_topup_amount, user.account, isp.ledger.pool
+        )
+        if amount <= 0:
+            return SendReceipt(SendStatus.BLOCKED_BALANCE)
+        try:
+            isp.ledger.user_buys_epennies(sender.user, amount)
+        except InsufficientBalance:
+            return SendReceipt(SendStatus.BLOCKED_BALANCE)
+        self.metrics.counter("topup.count").increment()
+        self.metrics.counter("topup.epennies").increment(amount)
+        return isp.submit(sender.user, recipient, kind, content)
+
+    def _route_letter(self, letter: Letter) -> None:
+        if letter.paid:
+            self.paid_letters_in_flight += 1
+        if self.net is None:
+            self._deliver_letter(letter)
+        else:
+            self.net.send(
+                f"isp{letter.src_isp}",
+                f"isp{letter.dst_isp}",
+                letter,
+                size=1024,
+            )
+
+    def _deliver_letter(self, letter: Letter) -> None:
+        if letter.paid:
+            self.paid_letters_in_flight -= 1
+        delivered = self.isps[letter.dst_isp].deliver(letter)
+        name = "delivered" if delivered else "dropped"
+        self.metrics.counter(f"deliver.{name}").increment()
+        self.metrics.counter(f"deliver.kind.{letter.kind.value}").increment()
+
+    # -- engine-mode message pump -----------------------------------------------------------
+
+    def _on_isp_message(self, isp_id: int, payload: object) -> None:
+        if isinstance(payload, Letter):
+            self._deliver_letter(payload)
+            return
+        coordinator = self._active_coordinator
+        if isinstance(payload, SnapshotRequest) and coordinator is not None:
+            coordinator.on_request(isp_id, payload)  # type: ignore[attr-defined]
+            return
+        if isinstance(payload, SnapshotMarker) and coordinator is not None:
+            coordinator.on_marker(isp_id, payload)  # type: ignore[attr-defined]
+            return
+        raise SimulationError(f"isp{isp_id}: unexpected payload {payload!r}")
+
+    def _on_bank_message(self, payload: object) -> None:
+        if isinstance(payload, SnapshotReply) and self._bank_reply_handler:
+            self._bank_reply_handler(payload)
+            return
+        raise SimulationError(f"bank: unexpected payload {payload!r}")
+
+    def _send_control(self, src_isp: int | None, dst_isp: int, payload: object) -> None:
+        assert self.net is not None
+        src = "bank" if src_isp is None else f"isp{src_isp}"
+        self.net.send(src, f"isp{dst_isp}", payload, size=64)
+
+    def _send_reply_to_bank(self, reply: SnapshotReply) -> None:
+        assert self.net is not None
+        self.net.send(f"isp{reply.isp_id}", "bank", reply, size=256)
+
+    # -- snapshots / reconciliation -----------------------------------------------------------
+
+    def reconcile(self, method: str = "direct") -> ReconciliationReport | None:
+        """Run one §4.4 reconciliation round.
+
+        Args:
+            method: ``"direct"`` (synchronous, direct mode only),
+                ``"timeout"`` (the paper's quiesce window) or ``"marker"``
+                (consistent-cut markers); the latter two require engine
+                mode and return ``None`` immediately — the report appears
+                on :attr:`last_report` once the round completes in virtual
+                time.
+        """
+        compliant = self.compliant_isps()
+        if method == "direct":
+            if self.net is not None and self.paid_letters_in_flight:
+                raise SimulationError(
+                    "direct reconciliation with letters in flight; "
+                    "run the engine to quiescence first or use "
+                    "method='timeout'/'marker'"
+                )
+            coordinator = DirectSnapshotCoordinator(self.bank, compliant)
+            report = coordinator.run()
+            self.last_report = report
+            return report
+        if self.net is None or self.engine is None:
+            raise SimulationError(f"method {method!r} requires engine mode")
+
+        def route_receipts(receipts: list[SendReceipt]) -> None:
+            for receipt in receipts:
+                if receipt.letter is not None:
+                    self._route_letter(receipt.letter)
+
+        def complete(report: ReconciliationReport) -> None:
+            self.last_report = report
+            self._active_coordinator = None
+            self._bank_reply_handler = None
+
+        if method == "timeout":
+            coordinator = TimeoutSnapshotCoordinator(
+                self.bank,
+                compliant,
+                quiesce_seconds=self.config.snapshot_quiesce_seconds,
+                send_control=self._send_control,
+                schedule_after=lambda d, cb: self.engine.schedule_after(d, cb),
+                on_complete=complete,
+                route_receipts=route_receipts,
+            )
+        elif method == "marker":
+            coordinator = MarkerSnapshotCoordinator(
+                self.bank,
+                compliant,
+                send_control=self._send_control,
+                on_complete=complete,
+                route_receipts=route_receipts,
+            )
+        else:
+            raise ValueError(f"unknown snapshot method {method!r}")
+        # ISP-side replies traverse the network; the bank endpoint funnels
+        # delivered replies back into the coordinator's collection logic.
+        self._bank_reply_handler = coordinator.on_reply
+        coordinator.on_reply = self._send_reply_to_bank  # type: ignore[method-assign]
+        self._active_coordinator = coordinator
+        coordinator.start()
+        return None
+
+    # -- time ---------------------------------------------------------------------------------
+
+    def advance_day_to(self, day: int) -> None:
+        """Apply midnight resets and pool rebalancing up to ``day``."""
+        while self._last_day_seen < day:
+            self._last_day_seen += 1
+            for isp in self.compliant_isps().values():
+                isp.midnight()
+            self.rebalance_pools()
+
+    def note_time(self, t: float) -> None:
+        """Direct-mode driver: trigger midnight work when a day boundary passes."""
+        self.advance_day_to(int(t // DAY))
+
+    def rebalance_pools(self) -> None:
+        """§4.3: every compliant ISP buys/sells pool e-pennies at the bank."""
+        for isp_id, isp in sorted(self.compliant_isps().items()):
+            deficit = isp.pool_deficit()
+            if deficit > 0:
+                nonce = self._nonce_sources[isp_id].next()
+                result = self.bank.buy_epennies(isp_id, value=deficit, nonce=nonce)
+                if result.accepted:
+                    isp.ledger.pool_credit(deficit)
+                    self.metrics.counter("bank.buys").increment()
+                continue
+            surplus = isp.pool_surplus()
+            if surplus > 0:
+                nonce = self._nonce_sources[isp_id].next()
+                isp.ledger.pool_debit(surplus)
+                self.bank.sell_epennies(isp_id, value=surplus, nonce=nonce)
+                self.metrics.counter("bank.sells").increment()
+
+    # -- workload driving --------------------------------------------------------------------
+
+    def run_workload(self, requests: Iterable[SendRequest]) -> None:
+        """Drive a time-ordered request stream through the deployment.
+
+        Direct mode: requests execute immediately, with midnight work
+        applied at day boundaries. Engine mode: each request is scheduled
+        at its virtual time (callers then ``engine.run()``).
+        """
+        if self.engine is None:
+            for request in requests:
+                self.note_time(request.time)
+                self.send(request.sender, request.recipient, request.kind)
+            return
+        for request in requests:
+            self.engine.schedule_at(
+                request.time,
+                lambda r=request: self.send(r.sender, r.recipient, r.kind),
+                label="send",
+            )
+        self.engine.schedule_every(DAY, self._engine_midnight, label="midnight")
+
+    def _engine_midnight(self) -> None:
+        for isp in self.compliant_isps().values():
+            isp.midnight()
+        self.rebalance_pools()
+
+    # -- audits ---------------------------------------------------------------------------------
+
+    def total_value(self) -> int:
+        """All value in the system, for conservation checks.
+
+        Counts user purses, ISP pools, bank accounts and paid letters in
+        flight. Constant across any run apart from explicit
+        :meth:`fund_user` injections (tracked separately).
+        """
+        total = 0
+        for isp in self.compliant_isps().values():
+            totals = isp.ledger.totals()
+            total += totals.total_value
+        total += self.bank.total_deposits()
+        total += self.paid_letters_in_flight
+        return total
+
+    def expected_total_value(self) -> int:
+        """Initial endowment plus external injections via fund_user."""
+        n_compliant = len(self.compliant_isps())
+        per_isp = (
+            self.users_per_isp
+            * (self.config.default_user_account + self.config.default_user_balance)
+            + self.config.initial_pool
+        )
+        return (
+            n_compliant * (per_isp + self.config.initial_bank_account)
+            + self._external_deposit
+        )

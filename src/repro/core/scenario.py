@@ -1,0 +1,265 @@
+"""Declarative scenario runner: whole simulations from one spec.
+
+The benchmark harness and examples all follow the same shape — build a
+deployment, merge workloads, schedule reconciliations and midnight work,
+run, audit, summarise. :class:`Scenario` captures that shape as data so a
+downstream user writes::
+
+    scenario = Scenario(
+        n_isps=4, users_per_isp=20,
+        duration=10 * DAY,
+        normal_rate_per_day=8.0,
+        spammers=[SpammerSpec(Address(3, 0), volume=5000, war_chest=100)],
+        zombies=[ZombieSpec(Address(1, 7), rate_per_hour=200.0,
+                            start=DAY, end=2 * DAY)],
+        reconcile_every=5 * DAY,
+    )
+    result = scenario.run()
+
+and gets a :class:`ScenarioResult` with message accounting, per-class
+delivery, detection outcomes, reconciliation reports and the conservation
+audit — everything EXPERIMENTS.md tables are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.clock import DAY
+from ..sim.rng import SeededStreams
+from ..sim.workload import (
+    Address,
+    NormalUserWorkload,
+    SpamCampaignWorkload,
+    ZombieBurstWorkload,
+    merge_workloads,
+)
+from .config import ZmailConfig
+from .misbehavior import ReconciliationReport
+from .protocol import ZmailNetwork
+from .zombie import ZombieDetection, ZombieMonitor
+
+__all__ = ["SpammerSpec", "ZombieSpec", "Scenario", "ScenarioResult"]
+
+
+@dataclass(frozen=True)
+class SpammerSpec:
+    """One spam campaign in a scenario."""
+
+    address: Address
+    volume: int
+    war_chest: int = 0  # e-pennies granted up front
+    start: float = 0.0
+    duration: float = DAY
+
+
+@dataclass(frozen=True)
+class ZombieSpec:
+    """One zombie outbreak in a scenario."""
+
+    address: Address
+    rate_per_hour: float
+    start: float
+    end: float
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced."""
+
+    network: ZmailNetwork
+    duration: float
+    sends_attempted: int
+    delivered: int
+    blocked_balance: int
+    blocked_limit: int
+    junked: int
+    discarded: int
+    spam_delivered: int
+    zombie_detections: list[ZombieDetection]
+    reconciliations: list[ReconciliationReport]
+    conserved: bool
+
+    @property
+    def all_reconciliations_consistent(self) -> bool:
+        """Whether every §4.4 round verified cleanly."""
+        return all(r.consistent for r in self.reconciliations)
+
+    def summary(self) -> dict[str, object]:
+        """A flat dict for reports and experiment tables."""
+        return {
+            "sends_attempted": self.sends_attempted,
+            "delivered": self.delivered,
+            "blocked_balance": self.blocked_balance,
+            "blocked_limit": self.blocked_limit,
+            "junked": self.junked,
+            "spam_delivered": self.spam_delivered,
+            "zombies_detected": len(self.zombie_detections),
+            "reconciliation_rounds": len(self.reconciliations),
+            "all_consistent": self.all_reconciliations_consistent,
+            "conserved": self.conserved,
+        }
+
+
+@dataclass
+class Scenario:
+    """A complete simulation specification (direct mode).
+
+    Attributes:
+        n_isps / users_per_isp / compliant / config / seed: Deployment
+            parameters, as :class:`~repro.core.protocol.ZmailNetwork`.
+        duration: Virtual length of the run in seconds.
+        normal_rate_per_day: Per-user legitimate send rate (0 disables).
+        spammers / zombies: Adversarial actors to inject.
+        reconcile_every: Period between §4.4 rounds (0 disables; a final
+            round always runs at the end).
+    """
+
+    n_isps: int = 3
+    users_per_isp: int = 10
+    compliant: list[bool] | None = None
+    config: ZmailConfig | None = None
+    seed: int = 0
+    duration: float = 5 * DAY
+    normal_rate_per_day: float = 8.0
+    spammers: list[SpammerSpec] = field(default_factory=list)
+    zombies: list[ZombieSpec] = field(default_factory=list)
+    reconcile_every: float = 0.0
+    # Engine mode: letters travel a FIFO latency network and
+    # reconciliation uses the marker snapshot on virtual time.
+    engine_mode: bool = False
+    link: object | None = None  # sim.LinkSpec; object to avoid hard import
+
+    def build_network(self, engine=None) -> ZmailNetwork:
+        """The deployment this scenario runs on (exposed for customisation)."""
+        return ZmailNetwork(
+            n_isps=self.n_isps,
+            users_per_isp=self.users_per_isp,
+            compliant=self.compliant,
+            config=self.config,
+            seed=self.seed,
+            engine=engine,
+            link=self.link,  # type: ignore[arg-type]
+        )
+
+    def _workload_streams(self, streams: SeededStreams):
+        iterators = []
+        if self.normal_rate_per_day > 0:
+            iterators.append(
+                NormalUserWorkload(
+                    n_isps=self.n_isps,
+                    users_per_isp=self.users_per_isp,
+                    rate_per_day=self.normal_rate_per_day,
+                    streams=streams,
+                ).generate(self.duration)
+            )
+        for index, spec in enumerate(self.spammers):
+            iterators.append(
+                SpamCampaignWorkload(
+                    spammer=spec.address,
+                    n_isps=self.n_isps,
+                    users_per_isp=self.users_per_isp,
+                    volume=spec.volume,
+                    start=spec.start,
+                    duration=spec.duration,
+                    streams=streams.spawn(f"spam{index}"),
+                ).generate()
+            )
+        for index, spec in enumerate(self.zombies):
+            iterators.append(
+                ZombieBurstWorkload(
+                    zombie=spec.address,
+                    n_isps=self.n_isps,
+                    users_per_isp=self.users_per_isp,
+                    rate_per_hour=spec.rate_per_hour,
+                    start=spec.start,
+                    end=spec.end,
+                    streams=streams.spawn(f"zombie{index}"),
+                ).generate()
+            )
+        return iterators
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and collect the result."""
+        if self.engine_mode:
+            return self._run_engine()
+        network = self.build_network()
+        monitor = ZombieMonitor(network)
+        for spec in self.spammers:
+            if spec.war_chest:
+                network.fund_user(spec.address, epennies=spec.war_chest)
+
+        streams = SeededStreams(self.seed)
+        requests = merge_workloads(*self._workload_streams(streams))
+
+        reconciliations: list[ReconciliationReport] = []
+        next_reconcile = (
+            self.reconcile_every if self.reconcile_every > 0 else None
+        )
+        attempted = 0
+        for request in requests:
+            if next_reconcile is not None and request.time >= next_reconcile:
+                reconciliations.append(network.reconcile("direct"))
+                next_reconcile += self.reconcile_every
+            network.note_time(request.time)
+            network.send(request.sender, request.recipient, request.kind)
+            attempted += 1
+        network.note_time(self.duration)
+        reconciliations.append(network.reconcile("direct"))
+        monitor.poll()
+        return self._collect(network, monitor, attempted, reconciliations)
+
+    def _run_engine(self) -> ScenarioResult:
+        from ..sim.engine import Engine
+
+        engine = Engine()
+        network = self.build_network(engine=engine)
+        monitor = ZombieMonitor(network)
+        for spec in self.spammers:
+            if spec.war_chest:
+                network.fund_user(spec.address, epennies=spec.war_chest)
+
+        streams = SeededStreams(self.seed)
+        requests = list(merge_workloads(*self._workload_streams(streams)))
+        network.run_workload(iter(requests))
+        if self.reconcile_every > 0:
+            t = self.reconcile_every
+            while t < self.duration:
+                engine.schedule_at(
+                    t, lambda: network.reconcile("marker"), label="reconcile"
+                )
+                t += self.reconcile_every
+        # Bounded runs: run_workload arms a perpetual midnight chain, so
+        # an unbounded engine.run() would never return. One virtual day of
+        # slack drains in-flight letters and completes the closing round.
+        engine.run(until=self.duration)
+        network.reconcile("marker")
+        engine.run(until=self.duration + DAY)
+        monitor.poll()
+        return self._collect(
+            network, monitor, len(requests), list(network.bank.reports)
+        )
+
+    def _collect(self, network, monitor, attempted, reconciliations):
+        counters = network.metrics.snapshot()["counters"]
+        junked = sum(
+            isp.stats.junked for isp in network.compliant_isps().values()
+        )
+        discarded = sum(
+            isp.stats.discarded for isp in network.compliant_isps().values()
+        )
+        return ScenarioResult(
+            network=network,
+            duration=self.duration,
+            sends_attempted=attempted,
+            delivered=counters.get("deliver.delivered", 0)
+            + counters.get("send.delivered_local", 0),
+            blocked_balance=counters.get("send.blocked_balance", 0),
+            blocked_limit=counters.get("send.blocked_limit", 0),
+            junked=junked,
+            discarded=discarded,
+            spam_delivered=counters.get("deliver.kind.spam", 0),
+            zombie_detections=list(monitor.detections),
+            reconciliations=reconciliations,
+            conserved=network.total_value() == network.expected_total_value(),
+        )

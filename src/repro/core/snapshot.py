@@ -1,0 +1,245 @@
+"""Credit-array snapshot coordinators (§4.4).
+
+The bank must read every compliant ISP's credit array on a *consistent
+cut*: every email counted by its sender must also be counted by its
+receiver in the same period. Two coordinators implement two methods:
+
+* :class:`TimeoutSnapshotCoordinator` — the paper's method. On request
+  every ISP stops sending, waits a fixed quiesce window ("say 10
+  minutes"), then replies and resumes. Consistency relies on the window
+  exceeding request-delivery skew plus the maximum in-flight drain time;
+  sweeping the window below that bound (benchmark E6a) shows the false
+  alarms the paper's real-time assumption prevents.
+
+* :class:`MarkerSnapshotCoordinator` — the alternative the paper alludes
+  to ("one could choose other methods"). ISPs flood a marker down each
+  FIFO link on receiving the request; a peer's pre-marker mail belongs to
+  the closing period, post-marker mail to the next (classic
+  Chandy–Lamport channel recording, simplified because the channel state
+  *is* the credit adjustment). No real-time assumption, no send pause
+  beyond the marker exchange.
+
+Both coordinators drive the same :class:`~repro.core.isp.CompliantISP`
+snapshot API and deliver collected arrays to
+:meth:`~repro.core.bank.Bank.reconcile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .misbehavior import ReconciliationReport
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from .isp import CompliantISP
+
+__all__ = [
+    "SnapshotRequest",
+    "SnapshotMarker",
+    "SnapshotReply",
+    "DirectSnapshotCoordinator",
+    "TimeoutSnapshotCoordinator",
+    "MarkerSnapshotCoordinator",
+]
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Bank → ISP: begin snapshot ``seq`` using ``method``."""
+
+    seq: int
+    method: str  # "timeout" | "marker"
+
+
+@dataclass(frozen=True)
+class SnapshotMarker:
+    """ISP → ISP: channel marker for the marker method."""
+
+    seq: int
+    from_isp: int
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    """ISP → bank: the credit array for period ``seq``."""
+
+    seq: int
+    isp_id: int
+    credit: dict[int, int]
+
+
+class DirectSnapshotCoordinator:
+    """Snapshot for synchronous (direct-mode) networks.
+
+    With synchronous delivery there is never in-flight mail, so the cut is
+    trivially consistent: collect, verify, done. Used by the large
+    economics runs where latency is irrelevant.
+    """
+
+    def __init__(self, bank, isps: dict[int, "CompliantISP"]) -> None:
+        self._bank = bank
+        self._isps = isps
+
+    def run(self) -> ReconciliationReport:
+        """Execute one full snapshot + verification round synchronously."""
+        seq = self._bank.next_seq
+        reports: dict[int, dict[int, int]] = {}
+        for isp in self._isps.values():
+            isp.begin_snapshot(seq)
+        for isp_id, isp in sorted(self._isps.items()):
+            reports[isp_id] = isp.snapshot_reply()
+        leftovers = []
+        for isp in self._isps.values():
+            leftovers.extend(isp.resume_sending())
+        report = self._bank.reconcile(reports)
+        # Synchronous networks cannot buffer mid-snapshot sends.
+        assert not leftovers or all(r is not None for r in leftovers)
+        return report
+
+
+class TimeoutSnapshotCoordinator:
+    """The paper's fixed-quiesce-window snapshot, on a latency network.
+
+    Interaction with the engine-mode network is through callables so the
+    coordinator stays decoupled from the transport:
+
+    Args:
+        send_control: ``send_control(src_isp_or_none, dst_isp, payload)``
+            delivers a control message over the same FIFO links as email
+            (``None`` source means the bank).
+        schedule_after: engine's relative scheduler.
+        on_complete: called with the :class:`ReconciliationReport`.
+    """
+
+    def __init__(
+        self,
+        bank,
+        isps: dict[int, "CompliantISP"],
+        *,
+        quiesce_seconds: float,
+        send_control: Callable[[int | None, int, object], None],
+        schedule_after: Callable[[float, Callable[[], None]], object],
+        on_complete: Callable[[ReconciliationReport], None] | None = None,
+        route_receipts: Callable[[list], None] | None = None,
+    ) -> None:
+        self._bank = bank
+        self._isps = isps
+        self._quiesce = quiesce_seconds
+        self._send_control = send_control
+        self._schedule_after = schedule_after
+        self._on_complete = on_complete
+        self._route_receipts = route_receipts
+        self._collected: dict[int, dict[int, int]] = {}
+        self._seq: int | None = None
+        self.report: ReconciliationReport | None = None
+
+    def start(self) -> None:
+        """Broadcast the snapshot request to every compliant ISP."""
+        self._seq = self._bank.next_seq
+        self._collected = {}
+        self.report = None
+        for isp_id in self._isps:
+            self._send_control(None, isp_id, SnapshotRequest(self._seq, "timeout"))
+
+    def on_request(self, isp_id: int, request: SnapshotRequest) -> None:
+        """ISP-side: request arrived — pause sending, arm the window."""
+        isp = self._isps[isp_id]
+        isp.begin_snapshot(request.seq)
+
+        def window_expired() -> None:
+            reply = SnapshotReply(request.seq, isp_id, isp.snapshot_reply())
+            receipts = isp.resume_sending()  # the paper resumes here
+            if self._route_receipts is not None:
+                self._route_receipts(receipts)
+            self.on_reply(reply)
+
+        self._schedule_after(self._quiesce, window_expired)
+
+    def on_reply(self, reply: SnapshotReply) -> None:
+        """Bank-side: collect a reply; verify once all ISPs answered."""
+        self._collected[reply.isp_id] = reply.credit
+        if len(self._collected) == len(self._isps):
+            self.report = self._bank.reconcile(self._collected)
+            if self._on_complete is not None:
+                self._on_complete(self.report)
+
+
+class MarkerSnapshotCoordinator:
+    """Marker-based consistent cut over FIFO links.
+
+    ISPs reply as soon as every peer's marker has arrived; mail that
+    overtakes the cut books to the next period via the ISP's
+    ``note_marker`` channel recording. Requires FIFO links shared by
+    markers and email (the network model guarantees this).
+    """
+
+    def __init__(
+        self,
+        bank,
+        isps: dict[int, "CompliantISP"],
+        *,
+        send_control: Callable[[int | None, int, object], None],
+        on_complete: Callable[[ReconciliationReport], None] | None = None,
+        route_receipts: Callable[[list], None] | None = None,
+    ) -> None:
+        self._bank = bank
+        self._isps = isps
+        self._send_control = send_control
+        self._on_complete = on_complete
+        self._route_receipts = route_receipts
+        self._collected: dict[int, dict[int, int]] = {}
+        self._markers: dict[int, set[int]] = {}
+        self._seq: int | None = None
+        self.report: ReconciliationReport | None = None
+        self.control_messages = 0
+
+    def start(self) -> None:
+        """Broadcast the snapshot request to every compliant ISP."""
+        self._seq = self._bank.next_seq
+        self._collected = {}
+        self._markers = {isp_id: set() for isp_id in self._isps}
+        self.report = None
+        for isp_id in self._isps:
+            self._send_control(None, isp_id, SnapshotRequest(self._seq, "marker"))
+            self.control_messages += 1
+
+    def on_request(self, isp_id: int, request: SnapshotRequest) -> None:
+        """ISP-side: pause, flood markers to all compliant peers."""
+        isp = self._isps[isp_id]
+        isp.begin_snapshot(request.seq)
+        for peer_id in self._isps:
+            if peer_id != isp_id:
+                self._send_control(
+                    isp_id, peer_id, SnapshotMarker(request.seq, isp_id)
+                )
+                self.control_messages += 1
+        self._maybe_reply(isp_id)
+
+    def on_marker(self, isp_id: int, marker: SnapshotMarker) -> None:
+        """ISP-side: a peer's marker arrived on our FIFO link."""
+        isp = self._isps[isp_id]
+        isp.note_marker(marker.from_isp)
+        self._markers[isp_id].add(marker.from_isp)
+        self._maybe_reply(isp_id)
+
+    def _maybe_reply(self, isp_id: int) -> None:
+        isp = self._isps[isp_id]
+        if not isp.snapshot_open:
+            return
+        expected = set(self._isps) - {isp_id}
+        if self._markers[isp_id] >= expected:
+            reply = SnapshotReply(self._seq or 0, isp_id, isp.snapshot_reply())
+            receipts = isp.resume_sending()
+            if self._route_receipts is not None:
+                self._route_receipts(receipts)
+            self.control_messages += 1
+            self.on_reply(reply)
+
+    def on_reply(self, reply: SnapshotReply) -> None:
+        """Bank-side: collect; verify when the round is complete."""
+        self._collected[reply.isp_id] = reply.credit
+        if len(self._collected) == len(self._isps):
+            self.report = self._bank.reconcile(self._collected)
+            if self._on_complete is not None:
+                self._on_complete(self.report)

@@ -1,0 +1,88 @@
+"""Transfer records: what happens when a user asks to send an email.
+
+The Zmail decision tree of §4.1, reified as data so experiments can
+account for every message:
+
+* local delivery (same ISP) — e-penny moves between two local balances;
+* compliant-to-compliant — sender debited, inter-ISP credit incremented,
+  receiver's ISP credits on delivery (zero-sum end to end);
+* compliant-to-non-compliant — sent unpaid (the paper's ``~compliant[j]``
+  branch);
+* blocked — empty balance or daily limit (the zombie brake);
+* buffered — a credit snapshot is in progress; the message is queued and
+  flushed when sending resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..sim.workload import Address, TrafficKind
+
+__all__ = ["SendStatus", "Letter", "SendReceipt"]
+
+
+class SendStatus(Enum):
+    """Terminal classification of one send attempt."""
+
+    DELIVERED_LOCAL = "delivered_local"
+    SENT_PAID = "sent_paid"
+    SENT_UNPAID = "sent_unpaid"
+    BLOCKED_BALANCE = "blocked_balance"
+    BLOCKED_LIMIT = "blocked_limit"
+    BUFFERED = "buffered"
+
+    @property
+    def left_the_isp(self) -> bool:
+        """Whether a message actually entered the inter-ISP network."""
+        return self in (SendStatus.SENT_PAID, SendStatus.SENT_UNPAID)
+
+    @property
+    def blocked(self) -> bool:
+        """Whether the send was refused outright."""
+        return self in (SendStatus.BLOCKED_BALANCE, SendStatus.BLOCKED_LIMIT)
+
+
+@dataclass(frozen=True)
+class Letter:
+    """An email in flight between ISPs.
+
+    ``paid`` records whether the sending ISP debited an e-penny (i.e. the
+    sender's ISP is compliant and so is the destination); the receiving
+    ISP decides payment by the *source ISP's* compliance, mirroring the
+    paper's receive action, so ``paid`` is carried for audit only.
+
+    ``content`` optionally carries the message's token stream so
+    content-based policies (the FILTER handling of non-compliant mail)
+    can actually read it; economics experiments leave it ``None`` to keep
+    the hot path allocation-free.
+    """
+
+    sender: Address
+    recipient: Address
+    kind: TrafficKind
+    paid: bool
+    content: tuple[str, ...] | None = None
+
+    @property
+    def src_isp(self) -> int:
+        """The sending ISP's index."""
+        return self.sender.isp
+
+    @property
+    def dst_isp(self) -> int:
+        """The destination ISP's index."""
+        return self.recipient.isp
+
+
+@dataclass(frozen=True)
+class SendReceipt:
+    """What a send attempt produced.
+
+    ``letter`` is populated only when the message left the ISP (the
+    network layer routes it); local deliveries and blocks carry ``None``.
+    """
+
+    status: SendStatus
+    letter: Letter | None = None

@@ -1,0 +1,51 @@
+"""Key objects for the toy public-key scheme.
+
+The paper's notation uses ``B_b`` (the bank's public key) and ``R_b`` (its
+private key); ``NCR(k, d)`` encrypts data ``d`` under key ``k`` and
+``DCR(k, d)`` decrypts. These dataclasses carry the RSA parameters that
+implement those operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PublicKey", "PrivateKey", "KeyPair"]
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Size of the modulus in whole bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """An RSA private key ``(n, d)`` (CRT parameters omitted for clarity)."""
+
+    n: int
+    d: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Size of the modulus in whole bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched public/private key pair."""
+
+    public: PublicKey
+    private: PrivateKey
+
+    def __post_init__(self) -> None:
+        if self.public.n != self.private.n:
+            raise ValueError("public and private moduli differ")

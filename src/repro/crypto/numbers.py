@@ -1,0 +1,104 @@
+"""Number-theoretic primitives for the toy RSA implementation.
+
+Everything is written from scratch on Python integers: deterministic
+Miller–Rabin primality testing, prime generation, extended Euclid and
+modular inverse. Key sizes in this library are simulation-grade (512-bit
+default); see the package docstring for the security caveat.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "is_probable_prime",
+    "generate_prime",
+    "MILLER_RABIN_ROUNDS",
+]
+
+MILLER_RABIN_ROUNDS = 40
+
+# Small primes used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """The inverse of ``a`` modulo ``m``.
+
+    Raises:
+        ValueError: if ``a`` and ``m`` are not coprime.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def is_probable_prime(n: int, *, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test with :data:`MILLER_RABIN_ROUNDS` rounds.
+
+    For the sizes used here the error probability is below 2**-80, far
+    beyond what a simulation needs.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+
+    # Write n - 1 = 2^s * d with d odd.
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+
+    for _ in range(MILLER_RABIN_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random probable prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so the product of two such primes has
+    exactly ``2 * bits`` bits (standard RSA keygen trick).
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate

@@ -1,0 +1,132 @@
+"""Schoolbook RSA implementing the paper's ``NCR``/``DCR`` operators.
+
+The Zmail specification (Section 4.3) encrypts buy/sell requests and
+replies under the bank's key pair: ``NCR(B_b, d)`` for requests the bank
+decrypts with ``R_b``, and ``NCR(R_b, d)`` for replies anyone can check
+with ``B_b`` (a signature-flavoured use). Because textbook RSA is symmetric
+in ``(e, d)``, one primitive serves both directions here.
+
+Payloads larger than one block are split into fixed-size chunks, each
+padded with a random prefix byte and a length byte ("OAEP-lite") so equal
+plaintexts do not produce equal ciphertexts. **This is simulation-grade
+crypto**: it demonstrates the protocol's message flow and replay defence,
+and must never be used to protect real data.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from ..errors import DecryptionError
+from .keys import KeyPair, PrivateKey, PublicKey
+from .numbers import generate_prime, modinv
+
+__all__ = ["generate_keypair", "ncr", "dcr", "ncr_object", "dcr_object"]
+
+_DEFAULT_E = 65537
+_PAD_OVERHEAD = 2  # one random byte + one length byte per block
+
+
+def generate_keypair(bits: int = 512, *, seed: int | None = None) -> KeyPair:
+    """Generate an RSA key pair with a ``bits``-bit modulus.
+
+    Args:
+        bits: Modulus size; must be at least 64 and even.
+        seed: Optional seed for deterministic key generation in tests.
+    """
+    if bits < 64 or bits % 2:
+        raise ValueError(f"modulus size must be even and >= 64, got {bits}")
+    rng = random.Random(seed)
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _DEFAULT_E == 0:
+            continue
+        d = modinv(_DEFAULT_E, phi)
+        return KeyPair(PublicKey(n, _DEFAULT_E), PrivateKey(n, d))
+
+
+def _key_parts(key: PublicKey | PrivateKey) -> tuple[int, int]:
+    exponent = key.e if isinstance(key, PublicKey) else key.d
+    return key.n, exponent
+
+
+def ncr(key: PublicKey | PrivateKey, data: bytes, *, seed: int | None = None) -> bytes:
+    """Encrypt ``data`` under ``key`` (the paper's ``NCR(k, d)``).
+
+    The output is a sequence of fixed-size ciphertext blocks. A random
+    prefix byte per block provides (weak) semantic masking; ``seed`` makes
+    it deterministic for tests.
+    """
+    n, exponent = _key_parts(key)
+    block_bytes = (n.bit_length() + 7) // 8
+    chunk = block_bytes - 1 - _PAD_OVERHEAD  # keep the int below the modulus
+    if chunk < 1:
+        raise ValueError("modulus too small to carry any payload")
+    rng = random.Random(seed)
+    out = bytearray()
+    pieces = [data[i : i + chunk] for i in range(0, len(data), chunk)] or [b""]
+    for piece in pieces:
+        padded = (
+            bytes([rng.randrange(1, 256), len(piece)])
+            + piece
+            + b"\x00" * (chunk - len(piece))
+        )
+        m = int.from_bytes(padded, "big")
+        c = pow(m, exponent, n)
+        out += c.to_bytes(block_bytes, "big")
+    return bytes(out)
+
+
+def dcr(key: PublicKey | PrivateKey, data: bytes) -> bytes:
+    """Decrypt ``data`` with ``key`` (the paper's ``DCR(k, d)``).
+
+    Raises:
+        DecryptionError: if the ciphertext length or padding is malformed,
+            which is what a wrong key produces in practice.
+    """
+    n, exponent = _key_parts(key)
+    block_bytes = (n.bit_length() + 7) // 8
+    chunk = block_bytes - 1 - _PAD_OVERHEAD
+    if len(data) == 0 or len(data) % block_bytes:
+        raise DecryptionError(
+            f"ciphertext length {len(data)} is not a multiple of {block_bytes}"
+        )
+    out = bytearray()
+    for i in range(0, len(data), block_bytes):
+        c = int.from_bytes(data[i : i + block_bytes], "big")
+        if c >= n:
+            raise DecryptionError("ciphertext block exceeds modulus")
+        m = pow(c, exponent, n)
+        if m >= 1 << (8 * (block_bytes - 1)):
+            # A correct decryption always fits in block_bytes - 1 bytes; a
+            # wrong key produces a near-uniform residue that usually won't.
+            raise DecryptionError("bad padding (wrong key or corrupted data)")
+        padded = m.to_bytes(block_bytes - 1, "big")
+        prefix, length = padded[0], padded[1]
+        if prefix == 0 or length > chunk:
+            raise DecryptionError("bad padding (wrong key or corrupted data)")
+        out += padded[2 : 2 + length]
+    return bytes(out)
+
+
+def ncr_object(
+    key: PublicKey | PrivateKey, obj: object, *, seed: int | None = None
+) -> bytes:
+    """Encrypt any JSON-serialisable object (the spec encrypts tuples)."""
+    return ncr(key, json.dumps(obj, separators=(",", ":")).encode("utf-8"), seed=seed)
+
+
+def dcr_object(key: PublicKey | PrivateKey, data: bytes) -> object:
+    """Decrypt and JSON-decode an object encrypted by :func:`ncr_object`."""
+    plaintext = dcr(key, data)
+    try:
+        return json.loads(plaintext.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DecryptionError(f"decrypted payload is not valid JSON: {exc}") from exc

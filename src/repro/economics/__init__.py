@@ -1,0 +1,65 @@
+"""Market models quantifying the paper's §1.2 economic claims.
+
+Spammer break-even calculus and optimal campaign volume, normal-user net
+flow neutrality, ISP infrastructure costs, whole-market projection and
+incremental-adoption dynamics.
+"""
+
+from .adaptive import AdaptiveSpammer, PeriodOutcome
+from .adoption import AdoptionOutcome, sweep_policies, sweep_propensity
+from .breakeven import (
+    DEFAULT_CAMPAIGNS,
+    BreakEvenRow,
+    break_even_table,
+    surviving_campaigns,
+)
+from .isp_costs import (
+    SPAM_SHARE_2001,
+    SPAM_SHARE_2004,
+    CostBreakdown,
+    ISPCostModel,
+    productivity_loss_annual,
+)
+from .market import MarketState, project_market
+from .sensitivity import ConfidenceInterval, elasticity, mean_ci, replicate
+from .timeline import SpamShareTimeline
+from .spammer import (
+    STATUS_QUO_COST_PER_MSG,
+    ZMAIL_COST_PER_MSG,
+    CampaignModel,
+    SpamRegime,
+    cost_increase_factor,
+)
+from .user_flows import UserFlowSummary, analyze_user_flows, required_buffer
+
+__all__ = [
+    "AdaptiveSpammer",
+    "PeriodOutcome",
+    "AdoptionOutcome",
+    "sweep_policies",
+    "sweep_propensity",
+    "BreakEvenRow",
+    "break_even_table",
+    "surviving_campaigns",
+    "DEFAULT_CAMPAIGNS",
+    "ISPCostModel",
+    "CostBreakdown",
+    "SPAM_SHARE_2001",
+    "SPAM_SHARE_2004",
+    "productivity_loss_annual",
+    "MarketState",
+    "ConfidenceInterval",
+    "mean_ci",
+    "replicate",
+    "elasticity",
+    "project_market",
+    "CampaignModel",
+    "SpamShareTimeline",
+    "SpamRegime",
+    "STATUS_QUO_COST_PER_MSG",
+    "ZMAIL_COST_PER_MSG",
+    "cost_increase_factor",
+    "UserFlowSummary",
+    "analyze_user_flows",
+    "required_buffer",
+]

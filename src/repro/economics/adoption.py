@@ -1,0 +1,73 @@
+"""Adoption-dynamics analysis helpers (experiment E9).
+
+The round-based positive-feedback model itself lives in
+:mod:`repro.core.deployment` (it is part of the deployable system's
+story); this module adds the sweep-and-summarise layer the benchmark
+harness uses: run families of :class:`AdoptionSimulation` across policy
+and propensity grids and report time-to-adoption curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import NonCompliantMailPolicy
+from ..core.deployment import AdoptionParams, AdoptionSimulation
+
+__all__ = ["AdoptionOutcome", "sweep_policies", "sweep_propensity"]
+
+
+@dataclass(frozen=True)
+class AdoptionOutcome:
+    """Summary of one adoption run."""
+
+    label: str
+    rounds_to_half: int | None
+    rounds_to_90pct: int | None
+    final_fraction: float
+    positive_feedback: bool
+
+
+def _summarise(label: str, sim: AdoptionSimulation) -> AdoptionOutcome:
+    return AdoptionOutcome(
+        label=label,
+        rounds_to_half=sim.rounds_to_fraction(0.5),
+        rounds_to_90pct=sim.rounds_to_fraction(0.9),
+        final_fraction=sim.rounds[-1].compliant_fraction,
+        positive_feedback=sim.has_positive_feedback(),
+    )
+
+
+def sweep_policies(
+    *,
+    n_isps: int = 100,
+    max_rounds: int = 60,
+    seed: int = 0,
+) -> list[AdoptionOutcome]:
+    """Adoption under each non-compliant-mail policy (§5's lever)."""
+    outcomes = []
+    for policy in NonCompliantMailPolicy:
+        params = AdoptionParams(n_isps=n_isps, policy=policy, seed=seed)
+        sim = AdoptionSimulation(params)
+        sim.run(max_rounds)
+        outcomes.append(_summarise(policy.value, sim))
+    return outcomes
+
+
+def sweep_propensity(
+    propensities: list[float],
+    *,
+    n_isps: int = 100,
+    max_rounds: int = 120,
+    seed: int = 0,
+) -> list[AdoptionOutcome]:
+    """Adoption speed as a function of user switch propensity."""
+    outcomes = []
+    for propensity in propensities:
+        params = AdoptionParams(
+            n_isps=n_isps, base_switch_propensity=propensity, seed=seed
+        )
+        sim = AdoptionSimulation(params)
+        sim.run(max_rounds)
+        outcomes.append(_summarise(f"propensity={propensity}", sim))
+    return outcomes

@@ -1,0 +1,80 @@
+"""Whole-market view: how Zmail shifts traffic composition (§1.2).
+
+Combines the spammer model (how much spam profit-maximisers still send),
+the paper's cited traffic shares, and the ISP cost model into a single
+before/after market summary used by the headline experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isp_costs import SPAM_SHARE_2004, ISPCostModel
+from .spammer import CampaignModel, SpamRegime
+
+__all__ = ["MarketState", "project_market"]
+
+
+@dataclass(frozen=True)
+class MarketState:
+    """Traffic composition and cost under one regime."""
+
+    regime: str
+    legitimate_volume: float
+    spam_volume: float
+    isp_annual_cost: float
+
+    @property
+    def spam_share(self) -> float:
+        """Spam as a fraction of all traffic."""
+        total = self.legitimate_volume + self.spam_volume
+        return self.spam_volume / total if total else 0.0
+
+
+def project_market(
+    *,
+    campaigns: list[CampaignModel],
+    legitimate_volume: float = 1e9,
+    cost_model: ISPCostModel | None = None,
+    calibrate_to_share: float = SPAM_SHARE_2004,
+) -> tuple[MarketState, MarketState]:
+    """Project the market before and after Zmail.
+
+    Campaign volumes are scaled so the status-quo spam share matches
+    ``calibrate_to_share`` (Brightmail's 60%), then each profit-maximising
+    spammer re-optimises under Zmail pricing. Returns
+    ``(status_quo_state, zmail_state)``.
+    """
+    if not campaigns:
+        raise ValueError("need at least one campaign")
+    cost_model = cost_model or ISPCostModel(
+        legitimate_messages_per_year=legitimate_volume
+    )
+    status_quo = SpamRegime.status_quo()
+    zmail = SpamRegime.zmail()
+
+    raw_before = sum(c.optimal_volume(status_quo) for c in campaigns)
+    target_spam = legitimate_volume * calibrate_to_share / (1.0 - calibrate_to_share)
+    scale = target_spam / raw_before if raw_before else 0.0
+
+    spam_before = raw_before * scale
+    spam_after = sum(c.optimal_volume(zmail) for c in campaigns) * scale
+
+    share_before = spam_before / (legitimate_volume + spam_before)
+    share_after = spam_after / (legitimate_volume + spam_after)
+
+    before = MarketState(
+        regime="status-quo",
+        legitimate_volume=legitimate_volume,
+        spam_volume=spam_before,
+        isp_annual_cost=cost_model.annual_cost(share_before).total,
+    )
+    after = MarketState(
+        regime="zmail",
+        legitimate_volume=legitimate_volume,
+        spam_volume=spam_after,
+        isp_annual_cost=cost_model.annual_cost(
+            share_after, filtering_enabled=False
+        ).total,
+    )
+    return before, after

@@ -1,0 +1,113 @@
+"""Statistical rigor for the experiments: replication and sensitivity.
+
+The paper's claims are argued once with fixed constants; a reproduction
+should know how fragile they are. This module provides:
+
+* :func:`mean_ci` — mean with a Student-t confidence interval over
+  replicated (re-seeded) runs;
+* :func:`replicate` — run a seed-taking experiment across many seeds;
+* :func:`elasticity` — local sensitivity of a model output to one input
+  (percent change out per percent change in), used to check which
+  economics claims depend on the paper's exact constants and which are
+  structural.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from scipy import stats
+
+__all__ = ["ConfidenceInterval", "mean_ci", "replicate", "elasticity"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with its symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± {self.half_width:.2g} "
+            f"({self.confidence:.0%}, n={self.n})"
+        )
+
+
+def mean_ci(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of ``values``.
+
+    Raises:
+        ValueError: with fewer than two samples (no spread estimate).
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError(f"need >= 2 samples for a CI, got {n}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=t_crit * sem, confidence=confidence, n=n
+    )
+
+
+def replicate(
+    experiment: Callable[[int], float], seeds: Sequence[int]
+) -> list[float]:
+    """Run ``experiment(seed)`` once per seed and collect the outputs."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [float(experiment(seed)) for seed in seeds]
+
+
+def elasticity(
+    model: Callable[[float], float],
+    base_input: float,
+    *,
+    relative_step: float = 0.05,
+) -> float:
+    """Local elasticity d(log output)/d(log input) via central differences.
+
+    An elasticity near 0 means the output barely depends on the input
+    (the claim is structural); near ±1 it moves proportionally.
+
+    Raises:
+        ValueError: if inputs or outputs are non-positive (logs needed).
+    """
+    if base_input <= 0:
+        raise ValueError("elasticity needs a positive base input")
+    if not 0.0 < relative_step < 1.0:
+        raise ValueError("relative_step must be in (0, 1)")
+    lo_in = base_input * (1.0 - relative_step)
+    hi_in = base_input * (1.0 + relative_step)
+    lo_out = model(lo_in)
+    hi_out = model(hi_in)
+    if lo_out <= 0 or hi_out <= 0:
+        raise ValueError("elasticity needs positive model outputs")
+    return (math.log(hi_out) - math.log(lo_out)) / (
+        math.log(hi_in) - math.log(lo_in)
+    )

@@ -1,0 +1,153 @@
+"""Spammer economics: cost, revenue and optimal campaign volume.
+
+The paper's §1.2 claim 1: "The cost of sending spam will increase by at
+least two orders of magnitude... The response rate required to break even
+will increase similarly. Bulk email advertising will continue to exist,
+but the incentives will favor more targeted advertising... The amount of
+spam will undoubtedly decrease substantially."
+
+The model here is the standard direct-marketing calculus of the era:
+
+* a campaign blasts ``volume`` messages at an ``audience`` of unique
+  addresses (with replacement — repeats convert nobody new);
+* each audience member converts with probability ``conversion_rate`` on
+  first exposure, yielding ``revenue_per_response``;
+* sending costs ``cost_per_message`` (infrastructure alone in the status
+  quo; infrastructure plus one e-penny under Zmail).
+
+Expected responses with random targeting follow the coupon-collector
+saturation curve ``audience * p * (1 - exp(-volume/audience))``, giving a
+closed-form profit-maximising volume (:meth:`CampaignModel.optimal_volume`)
+that experiments compare against brute-force simulation.
+
+Default constants are the paper-era figures documented in DESIGN.md:
+bulk-mail infrastructure at roughly $100 per million messages
+($0.0001/msg) and an e-penny at $0.01.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.epenny import EPENNY_PRICE_DOLLARS
+
+__all__ = [
+    "STATUS_QUO_COST_PER_MSG",
+    "ZMAIL_COST_PER_MSG",
+    "SpamRegime",
+    "CampaignModel",
+    "cost_increase_factor",
+]
+
+# Paper-era bulk mail infrastructure: on the order of $100 per million
+# messages sent through spam-friendly hosts or botnets.
+STATUS_QUO_COST_PER_MSG = 0.0001
+
+# Under Zmail the spammer additionally pays one e-penny per message.
+ZMAIL_COST_PER_MSG = STATUS_QUO_COST_PER_MSG + EPENNY_PRICE_DOLLARS
+
+
+@dataclass(frozen=True)
+class SpamRegime:
+    """A sending-cost regime (status quo, Zmail, or a sweep point)."""
+
+    name: str
+    cost_per_message: float
+
+    def __post_init__(self) -> None:
+        if self.cost_per_message < 0:
+            raise ValueError("cost_per_message must be non-negative")
+
+    @classmethod
+    def status_quo(cls) -> "SpamRegime":
+        """Pre-Zmail economics: infrastructure cost only."""
+        return cls("status-quo", STATUS_QUO_COST_PER_MSG)
+
+    @classmethod
+    def zmail(cls, epenny_dollars: float = EPENNY_PRICE_DOLLARS) -> "SpamRegime":
+        """Zmail economics: infrastructure plus the e-penny."""
+        return cls("zmail", STATUS_QUO_COST_PER_MSG + epenny_dollars)
+
+
+@dataclass(frozen=True)
+class CampaignModel:
+    """One spam campaign's market parameters.
+
+    Attributes:
+        audience: Unique reachable addresses.
+        conversion_rate: First-exposure purchase probability (paper-era
+            bulk spam: a few in 100,000).
+        revenue_per_response: Dollars earned per conversion.
+    """
+
+    audience: int
+    conversion_rate: float
+    revenue_per_response: float
+
+    def __post_init__(self) -> None:
+        if self.audience <= 0:
+            raise ValueError("audience must be positive")
+        if not 0.0 <= self.conversion_rate <= 1.0:
+            raise ValueError("conversion_rate outside [0, 1]")
+        if self.revenue_per_response < 0:
+            raise ValueError("revenue_per_response must be non-negative")
+
+    # -- per-volume economics ---------------------------------------------------
+
+    def expected_responses(self, volume: int) -> float:
+        """Expected conversions from ``volume`` uniformly random sends."""
+        if volume <= 0:
+            return 0.0
+        reached = self.audience * (1.0 - math.exp(-volume / self.audience))
+        return reached * self.conversion_rate
+
+    def expected_profit(self, volume: int, regime: SpamRegime) -> float:
+        """Revenue minus sending cost at ``volume`` under ``regime``."""
+        revenue = self.expected_responses(volume) * self.revenue_per_response
+        return revenue - volume * regime.cost_per_message
+
+    def break_even_response_rate(self, regime: SpamRegime) -> float:
+        """Conversions-per-message needed for a marginal message to pay.
+
+        The §1.2 break-even: a message is worth sending only if
+        ``rate * revenue_per_response >= cost_per_message``.
+        """
+        if self.revenue_per_response == 0:
+            return math.inf
+        return regime.cost_per_message / self.revenue_per_response
+
+    # -- optimal behaviour ---------------------------------------------------------
+
+    def optimal_volume(self, regime: SpamRegime) -> int:
+        """Profit-maximising volume under ``regime``.
+
+        Marginal revenue of the v-th message is
+        ``p * R * exp(-v/audience)``; setting it equal to the marginal
+        cost ``c`` gives ``v* = audience * ln(p * R / c)``, floored at 0
+        when even the first message loses money.
+        """
+        p, rev, c = (
+            self.conversion_rate,
+            self.revenue_per_response,
+            regime.cost_per_message,
+        )
+        if c <= 0:
+            return 10 * self.audience  # unbounded in theory; saturate
+        if p * rev <= c:
+            return 0
+        return int(self.audience * math.log(p * rev / c))
+
+    def optimal_profit(self, regime: SpamRegime) -> float:
+        """Profit at the optimal volume."""
+        return self.expected_profit(self.optimal_volume(regime), regime)
+
+
+def cost_increase_factor(
+    epenny_dollars: float = EPENNY_PRICE_DOLLARS,
+    infra_cost: float = STATUS_QUO_COST_PER_MSG,
+) -> float:
+    """How many times more a message costs under Zmail (E1's headline)."""
+    if infra_cost <= 0:
+        return math.inf
+    return (infra_cost + epenny_dollars) / infra_cost

@@ -1,0 +1,74 @@
+"""Virtual clock for the discrete-event simulator.
+
+The simulator measures time in abstract seconds. Helpers convert between
+seconds, minutes, hours and days so workload code can speak in natural
+units (the Zmail paper's quantities are per-day limits, 10-minute snapshot
+timeouts, and monthly reconciliation periods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SECOND = 1.0
+MINUTE = 60.0 * SECOND
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+# The paper reconciles "once a week or once a month"; we use a 30-day month.
+MONTH = 30.0 * DAY
+
+__all__ = [
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "MONTH",
+    "Clock",
+    "format_time",
+]
+
+
+@dataclass
+class Clock:
+    """A monotonically advancing virtual clock.
+
+    The clock only moves forward; :meth:`advance_to` raises ``ValueError``
+    on any attempt to move backwards, which would indicate a scheduler bug.
+    """
+
+    now: float = field(default=0.0)
+
+    def advance_to(self, t: float) -> None:
+        """Advance the clock to absolute time ``t`` (>= current time)."""
+        if t < self.now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self.now}")
+        self.now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Advance the clock by a non-negative delta ``dt``."""
+        if dt < 0:
+            raise ValueError(f"negative clock delta: {dt}")
+        self.now += dt
+
+    @property
+    def day(self) -> int:
+        """The zero-based day index of the current time."""
+        return int(self.now // DAY)
+
+    @property
+    def seconds_into_day(self) -> float:
+        """Seconds elapsed since the most recent midnight."""
+        return self.now - self.day * DAY
+
+
+def format_time(t: float) -> str:
+    """Render an absolute simulation time as ``DdHH:MM:SS.mmm``."""
+    days = int(t // DAY)
+    rem = t - days * DAY
+    hours = int(rem // HOUR)
+    rem -= hours * HOUR
+    minutes = int(rem // MINUTE)
+    rem -= minutes * MINUTE
+    return f"{days}d{hours:02d}:{minutes:02d}:{rem:06.3f}"

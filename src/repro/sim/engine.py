@@ -1,0 +1,207 @@
+"""The discrete-event simulation engine.
+
+A classic event-heap simulator: callbacks are scheduled at absolute virtual
+times and executed in time order. The engine is the substrate for all of the
+economics experiments — ISPs, users, spammers and the bank are ordinary
+Python objects that schedule future work on a shared :class:`Engine`.
+
+Determinism is a design requirement (DESIGN.md §6): given the same seed and
+the same scheduling calls, a run is reproducible bit-for-bit. Ties at equal
+times are broken first by explicit priority, then by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from ..errors import SimulationError
+from .clock import Clock
+from .events import Event, EventHandle
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Example:
+        >>> eng = Engine()
+        >>> fired = []
+        >>> _ = eng.schedule_at(5.0, lambda: fired.append(eng.now))
+        >>> _ = eng.schedule_at(1.0, lambda: fired.append(eng.now))
+        >>> eng.run()
+        >>> fired
+        [1.0, 5.0]
+    """
+
+    def __init__(self) -> None:
+        self.clock = Clock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time} "
+                f"(now={self.clock.now})"
+            )
+        self._seq += 1
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=self._seq,
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.schedule_at(
+            self.clock.now + delay, callback, priority=priority, label=label
+        )
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` periodically every ``interval`` seconds.
+
+        The returned handle cancels the *entire* periodic chain. The first
+        firing is at ``start`` (default: now + interval).
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        first = self.clock.now + interval if start is None else start
+
+        # A single handle is reused: each firing reschedules the same Event
+        # object at the next period, so cancelling the handle stops the chain.
+        chain_event = Event(
+            time=first, priority=priority, seq=0, callback=lambda: None, label=label
+        )
+        handle = EventHandle(chain_event)
+
+        def fire() -> None:
+            if chain_event.cancelled:
+                return
+            callback()
+            if not chain_event.cancelled:
+                inner = self.schedule_after(
+                    interval, fire, priority=priority, label=label
+                )
+                chain_event.time = inner.time
+
+        self.schedule_at(first, fire, priority=priority, label=label)
+        return handle
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, *, max_events: int | None = None) -> None:
+        """Run events in time order.
+
+        Args:
+            until: Stop once virtual time would exceed this bound. Events at
+                exactly ``until`` still fire. The clock is advanced to
+                ``until`` when the bound is reached, so back-to-back
+                ``run(until=...)`` calls tile time cleanly.
+            max_events: Safety valve; raise :class:`SimulationError` if more
+                than this many events execute (runaway-loop detection).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                next_time = self._heap[0].time
+                if until is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+            if until is not None and until > self.clock.now:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` call return after this event."""
+        self._stopped = True
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def pending_labels(self) -> Iterable[str]:
+        """Labels of pending events, in heap (not time) order. Debug aid."""
+        return [e.label for e in self._heap if not e.cancelled]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Engine(now={self.clock.now}, pending={self.pending}, "
+            f"processed={self.events_processed})"
+        )

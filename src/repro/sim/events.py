@@ -1,0 +1,73 @@
+"""Event objects for the discrete-event simulator.
+
+Events pair an absolute firing time with a zero-argument callback. They are
+totally ordered by ``(time, priority, sequence)`` so that the engine's heap
+is deterministic: two events at the same instant fire in the order they were
+scheduled unless an explicit priority says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Absolute simulation time at which the event fires.
+        priority: Tie-breaker; lower fires first at equal times.
+        seq: Insertion sequence number, set by the engine; final tie-breaker.
+        callback: Zero-argument callable executed when the event fires.
+        label: Human-readable tag used in traces and error messages.
+        cancelled: Set by :class:`EventHandle.cancel`; the engine skips
+            cancelled events instead of removing them from the heap.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = 0
+    callback: Callable[[], None] = field(compare=False, default=lambda: None)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """A cancellation token for a scheduled event.
+
+    Engines return a handle from ``schedule`` calls; calling :meth:`cancel`
+    marks the underlying event so it is skipped when popped. Cancellation is
+    O(1) — the event stays in the heap until its time arrives.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, label={self.label!r}, {state})"

@@ -1,0 +1,64 @@
+"""Inter-ISP traffic matrices and imbalance accounting.
+
+Zmail's credit arrays are, by construction, *traffic imbalances*: after a
+consistent snapshot, ``credit_i[j]`` must equal (mail i sent j) − (mail i
+received from j) for the period. :class:`TrafficMatrix` records ground
+truth independently of the protocol, giving tests and experiments an
+oracle to check credit arrays against — the same cross-check a real
+auditor would run from transit logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficMatrix"]
+
+
+@dataclass
+class TrafficMatrix:
+    """Counts of messages per directed ISP pair."""
+
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src_isp: int, dst_isp: int, n: int = 1) -> None:
+        """Record ``n`` messages from ``src_isp`` to ``dst_isp``."""
+        if n < 0:
+            raise ValueError("message count cannot be negative")
+        key = (src_isp, dst_isp)
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def sent(self, src_isp: int, dst_isp: int) -> int:
+        """Messages recorded from ``src_isp`` to ``dst_isp``."""
+        return self.counts.get((src_isp, dst_isp), 0)
+
+    def imbalance(self, isp_a: int, isp_b: int) -> int:
+        """Net flow a→b minus b→a — the value ``credit_a[b]`` must hold."""
+        return self.sent(isp_a, isp_b) - self.sent(isp_b, isp_a)
+
+    def expected_credit_array(self, isp: int, n_isps: int) -> dict[int, int]:
+        """The credit array an honest ``isp`` should report."""
+        expected = {}
+        for peer in range(n_isps):
+            if peer == isp:
+                continue
+            value = self.imbalance(isp, peer)
+            if value:
+                expected[peer] = value
+        return expected
+
+    def total_messages(self) -> int:
+        """All recorded inter-ISP messages."""
+        return sum(self.counts.values())
+
+    def isps_seen(self) -> set[int]:
+        """Every ISP index appearing as source or destination."""
+        seen: set[int] = set()
+        for src, dst in self.counts:
+            seen.add(src)
+            seen.add(dst)
+        return seen
+
+    def busiest_pairs(self, top: int = 5) -> list[tuple[tuple[int, int], int]]:
+        """The ``top`` directed pairs by message count, descending."""
+        return sorted(self.counts.items(), key=lambda kv: -kv[1])[:top]

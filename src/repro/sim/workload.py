@@ -1,0 +1,245 @@
+"""Email traffic workload generators.
+
+Workloads produce streams of :class:`SendRequest` records — who wants to
+send to whom, when, and why (normal correspondence, spam campaign, mailing
+list post, or zombie burst). They are deliberately independent of the Zmail
+core: the same traffic can be replayed through Zmail, through plain SMTP,
+or through any baseline, which is what makes the comparisons in the
+benchmark harness apples-to-apples.
+
+Addresses are ``(isp_id, user_id)`` pairs matching the paper's model of
+``n`` ISPs with ``m`` users each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from .clock import DAY
+from .rng import SeededStreams
+
+__all__ = [
+    "TrafficKind",
+    "Address",
+    "SendRequest",
+    "NormalUserWorkload",
+    "SpamCampaignWorkload",
+    "ZombieBurstWorkload",
+    "merge_workloads",
+]
+
+
+class TrafficKind(Enum):
+    """Why a message is being sent; used for per-class accounting."""
+
+    NORMAL = "normal"
+    SPAM = "spam"
+    MAILING_LIST = "mailing_list"
+    ACK = "ack"
+    ZOMBIE = "zombie"
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A user's location: ISP index and user index within that ISP."""
+
+    isp: int
+    user: int
+
+    def __str__(self) -> str:
+        return f"user{self.user}@isp{self.isp}"
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """One message a workload wants sent at a given virtual time."""
+
+    time: float
+    sender: Address
+    recipient: Address
+    kind: TrafficKind
+
+    def __lt__(self, other: "SendRequest") -> bool:
+        return self.time < other.time
+
+
+class NormalUserWorkload:
+    """Poisson correspondence among normal users.
+
+    Each user sends at ``rate_per_day`` on average; recipients are drawn
+    from the sender's contact list (a fixed random subset of the
+    population), modelling the paper's observation that normal users
+    roughly balance sends and receives over time.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_isps: int,
+        users_per_isp: int,
+        rate_per_day: float,
+        streams: SeededStreams,
+        contacts_per_user: int = 8,
+        name: str = "normal",
+    ) -> None:
+        if n_isps <= 0 or users_per_isp <= 0:
+            raise ValueError("need at least one ISP and one user per ISP")
+        if rate_per_day < 0:
+            raise ValueError("rate_per_day must be non-negative")
+        self.n_isps = n_isps
+        self.users_per_isp = users_per_isp
+        self.rate_per_day = rate_per_day
+        self.contacts_per_user = contacts_per_user
+        self._streams = streams
+        self.name = name
+        self._population = [
+            Address(i, u) for i in range(n_isps) for u in range(users_per_isp)
+        ]
+        self._contacts: dict[Address, list[Address]] = {}
+
+    def _contacts_of(self, sender: Address) -> list[Address]:
+        contacts = self._contacts.get(sender)
+        if contacts is None:
+            stream = self._streams.get(f"{self.name}:contacts:{sender}")
+            others = [a for a in self._population if a != sender]
+            k = min(self.contacts_per_user, len(others))
+            contacts = stream.sample(others, k) if k else []
+            self._contacts[sender] = contacts
+        return contacts
+
+    def generate(self, duration: float) -> Iterator[SendRequest]:
+        """Yield requests over ``[0, duration)`` in time order."""
+        if self.rate_per_day == 0:
+            return
+        arrival_stream = self._streams.get(f"{self.name}:arrivals")
+        pick_stream = self._streams.get(f"{self.name}:pick")
+        total_rate = self.rate_per_day * len(self._population) / DAY
+        t = 0.0
+        while True:
+            t += arrival_stream.expovariate(total_rate)
+            if t >= duration:
+                return
+            sender = pick_stream.choice(self._population)
+            contacts = self._contacts_of(sender)
+            if not contacts:
+                continue
+            recipient = pick_stream.choice(contacts)
+            yield SendRequest(t, sender, recipient, TrafficKind.NORMAL)
+
+
+class SpamCampaignWorkload:
+    """A bulk-mail campaign blasting the whole population.
+
+    The spammer lives at ``spammer`` and sends ``volume`` messages spread
+    uniformly over ``[start, start + duration)`` to recipients sampled
+    uniformly from the population (with replacement — real campaigns
+    re-hit addresses).
+    """
+
+    def __init__(
+        self,
+        *,
+        spammer: Address,
+        n_isps: int,
+        users_per_isp: int,
+        volume: int,
+        start: float,
+        duration: float,
+        streams: SeededStreams,
+        name: str = "spam",
+    ) -> None:
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.spammer = spammer
+        self.volume = volume
+        self.start = start
+        self.duration = duration
+        self._streams = streams
+        self.name = name
+        self._population = [
+            Address(i, u)
+            for i in range(n_isps)
+            for u in range(users_per_isp)
+            if Address(i, u) != spammer
+        ]
+
+    def generate(self) -> Iterator[SendRequest]:
+        """Yield the campaign's requests in time order."""
+        if not self._population:
+            return
+        stream = self._streams.get(f"{self.name}:times")
+        pick = self._streams.get(f"{self.name}:targets")
+        times = sorted(
+            stream.uniform(self.start, self.start + self.duration)
+            for _ in range(self.volume)
+        )
+        for t in times:
+            recipient = pick.choice(self._population)
+            yield SendRequest(t, self.spammer, recipient, TrafficKind.SPAM)
+
+
+class ZombieBurstWorkload:
+    """A compromised user machine blasting mail at machine speed.
+
+    Models the paper's §5 scenario: a virus turns a user's PC into a zombie
+    that sends ``rate_per_hour`` messages until ``end``. The Zmail daily
+    ``limit`` should cut this off after ``limit`` messages per day.
+    """
+
+    def __init__(
+        self,
+        *,
+        zombie: Address,
+        n_isps: int,
+        users_per_isp: int,
+        rate_per_hour: float,
+        start: float,
+        end: float,
+        streams: SeededStreams,
+        name: str = "zombie",
+    ) -> None:
+        if rate_per_hour <= 0:
+            raise ValueError("rate_per_hour must be positive")
+        if end <= start:
+            raise ValueError("end must be after start")
+        self.zombie = zombie
+        self.rate_per_hour = rate_per_hour
+        self.start = start
+        self.end = end
+        self._streams = streams
+        self.name = name
+        self._population = [
+            Address(i, u)
+            for i in range(n_isps)
+            for u in range(users_per_isp)
+            if Address(i, u) != zombie
+        ]
+
+    def generate(self) -> Iterator[SendRequest]:
+        """Yield the burst's requests in time order."""
+        if not self._population:
+            return
+        arrivals = self._streams.get(f"{self.name}:arrivals")
+        pick = self._streams.get(f"{self.name}:targets")
+        rate_per_second = self.rate_per_hour / 3600.0
+        t = self.start
+        while True:
+            t += arrivals.expovariate(rate_per_second)
+            if t >= self.end:
+                return
+            recipient = pick.choice(self._population)
+            yield SendRequest(t, self.zombie, recipient, TrafficKind.ZOMBIE)
+
+
+def merge_workloads(*iterators: Iterator[SendRequest]) -> Iterator[SendRequest]:
+    """Merge independently time-ordered request streams into one ordering.
+
+    Standard k-way merge; each input must itself be time-ordered.
+    """
+    import heapq
+
+    return iter(heapq.merge(*iterators, key=lambda r: r.time))

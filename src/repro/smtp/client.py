@@ -1,0 +1,117 @@
+"""An asyncio SMTP client matching :mod:`repro.smtp.server`.
+
+The client speaks the same RFC 821 subset: EHLO, MAIL FROM, RCPT TO, DATA
+(with dot-stuffing), QUIT. :func:`send_message` is the synchronous
+convenience wrapper used by examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import SMTPPermanentError, SMTPProtocolError, SMTPTemporaryError
+from .message import MailMessage
+from .transport import Envelope
+
+__all__ = ["SMTPClient", "send_message"]
+
+
+class SMTPClient:
+    """One SMTP connection to a server; usable for multiple messages.
+
+    Example::
+
+        client = SMTPClient(host, port)
+        await client.connect()
+        await client.send(Envelope("a@x.example", "b@y.example", msg))
+        await client.quit()
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    # -- low-level ----------------------------------------------------------
+
+    async def _expect(self, *codes: int) -> tuple[int, str]:
+        assert self._reader is not None
+        line = await self._reader.readline()
+        if not line:
+            raise SMTPProtocolError("server closed connection")
+        text = line.decode("ascii", errors="replace").rstrip("\r\n")
+        if len(text) < 3 or not text[:3].isdigit():
+            raise SMTPProtocolError(f"malformed reply {text!r}")
+        code = int(text[:3])
+        message = text[4:] if len(text) > 4 else ""
+        if code not in codes:
+            if 400 <= code < 500:
+                raise SMTPTemporaryError(code, message)
+            raise SMTPPermanentError(code, message)
+        return code, message
+
+    async def _command(self, line: str, *codes: int) -> tuple[int, str]:
+        assert self._writer is not None
+        self._writer.write(f"{line}\r\n".encode("ascii"))
+        await self._writer.drain()
+        return await self._expect(*codes)
+
+    # -- session ----------------------------------------------------------------
+
+    async def connect(self, *, helo_name: str = "client.example") -> None:
+        """Open the connection and complete the EHLO exchange."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        await self._expect(220)
+        await self._command(f"EHLO {helo_name}", 250)
+
+    async def send(self, envelope: Envelope) -> None:
+        """Transmit one message (single recipient) on the open session."""
+        if self._writer is None:
+            raise SMTPProtocolError("client is not connected")
+        await self._command(f"MAIL FROM:<{envelope.mail_from}>", 250)
+        await self._command(f"RCPT TO:<{envelope.rcpt_to}>", 250)
+        await self._command("DATA", 354)
+        payload = envelope.message.serialize()
+        stuffed_lines = [
+            "." + line if line.startswith(".") else line
+            for line in payload.split("\r\n")
+        ]
+        body = "\r\n".join(stuffed_lines)
+        assert self._writer is not None
+        self._writer.write(f"{body}\r\n.\r\n".encode("utf-8"))
+        await self._writer.drain()
+        await self._expect(250)
+
+    async def quit(self) -> None:
+        """Send QUIT and close the connection."""
+        if self._writer is None:
+            return
+        try:
+            await self._command("QUIT", 221)
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+            self._reader = None
+            self._writer = None
+
+
+def send_message(
+    host: str, port: int, sender: str, recipient: str, message: MailMessage
+) -> None:
+    """Synchronous one-shot send: connect, transmit, quit."""
+
+    async def _run() -> None:
+        client = SMTPClient(host, port)
+        await client.connect()
+        try:
+            await client.send(Envelope(sender, recipient, message))
+        finally:
+            await client.quit()
+
+    asyncio.run(_run())

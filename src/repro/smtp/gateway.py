@@ -1,0 +1,231 @@
+"""A compliant ISP's full SMTP gateway.
+
+Ties the substrates together into the deployable unit the paper
+envisions: one :class:`ZmailGateway` per compliant ISP that
+
+* **outbound** — stamps messages with the ISP's ``X-Zmail-*`` headers and
+  submits them over any :class:`~repro.smtp.transport.MailTransport`
+  (in-memory for tests, real SMTP via :mod:`repro.smtp.client`);
+* **inbound** — authenticates the stamp against the transport-level
+  origin (a stamp naming a different ISP than the envelope's domain is
+  forged and the message is rejected), drives the Zmail accounting on a
+  shared :class:`~repro.core.protocol.ZmailNetwork`, and files the
+  message into the recipient's :class:`Mailbox`;
+* **acknowledgments** — mailing-list messages (``X-Zmail-List-Token``)
+  are acknowledged automatically per §5: the ack email returns the
+  e-penny to the distributor *without* reaching a human inbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.protocol import ZmailNetwork
+from ..core.transfer import SendStatus
+from ..errors import SMTPPermanentError
+from ..sim.workload import Address, TrafficKind
+from .address import from_sim_address, to_sim_address
+from .message import MailMessage
+from .transport import Envelope, MailTransport
+from .zmail_headers import (
+    CLASS_ACK,
+    CLASS_NORMAL,
+    ZmailStamp,
+    is_ack,
+    make_ack_message,
+    read_stamp,
+    stamp_message,
+)
+
+__all__ = ["Mailbox", "DeliveryRecord", "ZmailGateway"]
+
+
+@dataclass
+class DeliveryRecord:
+    """One message filed into a mailbox."""
+
+    envelope: Envelope
+    paid: bool
+    folder: str  # "inbox" | "junk"
+
+
+@dataclass
+class Mailbox:
+    """A user's stored mail, split by folder."""
+
+    inbox: list[DeliveryRecord] = field(default_factory=list)
+    junk: list[DeliveryRecord] = field(default_factory=list)
+
+    def file(self, record: DeliveryRecord) -> None:
+        """Store a record in the folder it names."""
+        if record.folder == "junk":
+            self.junk.append(record)
+        else:
+            self.inbox.append(record)
+
+    def __len__(self) -> int:
+        return len(self.inbox) + len(self.junk)
+
+
+class ZmailGateway:
+    """One compliant ISP's SMTP face over a shared deployment.
+
+    Args:
+        network: The Zmail deployment this gateway accounts against.
+        isp_id: Which compliant ISP this gateway fronts.
+        transport: Where outbound mail (including automatic acks) goes.
+        retain_messages: Keep full messages in mailboxes (tests/demos);
+            disable for high-volume simulations.
+    """
+
+    def __init__(
+        self,
+        network: ZmailNetwork,
+        isp_id: int,
+        transport: MailTransport,
+        *,
+        retain_messages: bool = True,
+    ) -> None:
+        if isp_id not in network.compliant_isps():
+            raise ValueError(f"isp {isp_id} is not compliant in this network")
+        self.network = network
+        self.isp_id = isp_id
+        self.transport = transport
+        self.retain_messages = retain_messages
+        self.mailboxes: dict[int, Mailbox] = {}
+        self.forged_rejected = 0
+        self.acks_sent = 0
+        self.acks_absorbed = 0
+        self.rejected_sends = 0
+
+    @property
+    def domain(self) -> str:
+        """The gateway's mail domain under the simulator convention."""
+        return f"isp{self.isp_id}.example"
+
+    def mailbox(self, user_id: int) -> Mailbox:
+        """The (created-on-demand) mailbox of a local user."""
+        box = self.mailboxes.get(user_id)
+        if box is None:
+            box = Mailbox()
+            self.mailboxes[user_id] = box
+        return box
+
+    # -- outbound ------------------------------------------------------------------
+
+    def submit_outbound(
+        self,
+        sender_user: int,
+        recipient: Address,
+        message: MailMessage,
+        *,
+        list_token: str | None = None,
+    ) -> SendStatus:
+        """A local user sends a message: account, stamp, transport.
+
+        Accounting runs first; only sends the ledger accepted reach the
+        wire. Raises nothing for ordinary refusals — the status tells the
+        caller what happened.
+        """
+        kind = (
+            TrafficKind.MAILING_LIST if list_token is not None
+            else TrafficKind.NORMAL
+        )
+        receipt = self.network.send(
+            Address(self.isp_id, sender_user), recipient, kind
+        )
+        if receipt.status.blocked or receipt.status is SendStatus.BUFFERED:
+            self.rejected_sends += 1
+            return receipt.status
+        stamped = stamp_message(
+            message,
+            ZmailStamp(
+                sender_isp=f"isp{self.isp_id}",
+                message_class=CLASS_NORMAL,
+                list_token=list_token,
+            ),
+        )
+        envelope = Envelope(
+            mail_from=str(from_sim_address(Address(self.isp_id, sender_user))),
+            rcpt_to=str(from_sim_address(recipient)),
+            message=stamped,
+        )
+        if receipt.status is not SendStatus.DELIVERED_LOCAL:
+            self.transport.submit(envelope)
+        else:
+            # Local mail never leaves the ISP; file it directly.
+            self._file(recipient.user, envelope, paid=True, folder="inbox")
+        return receipt.status
+
+    # -- inbound --------------------------------------------------------------------
+
+    def handle_inbound(self, envelope: Envelope) -> bool:
+        """Transport delivery handler; returns ``True`` if accepted.
+
+        The accounting (`network.send`) was already performed by the
+        *sending* gateway — this side only verifies, files, and (for list
+        messages) generates the §5 acknowledgment. Inbound acks are
+        absorbed without reaching any inbox.
+
+        Raises:
+            SMTPPermanentError: 550 for recipients we do not host.
+        """
+        recipient = to_sim_address(envelope.rcpt_to)
+        if recipient.isp != self.isp_id:
+            raise SMTPPermanentError(550, f"{envelope.rcpt_to} not local")
+        sender = to_sim_address(envelope.mail_from)
+        stamp = read_stamp(envelope.message)
+
+        # A stamp asserting a different origin than the envelope is forged.
+        if stamp is not None and stamp.sender_isp != f"isp{sender.isp}":
+            self.forged_rejected += 1
+            return False
+
+        if is_ack(envelope.message):
+            # §5: acks are processed automatically, never delivered.
+            self.acks_absorbed += 1
+            return True
+
+        paid = self.network.bank.is_compliant(sender.isp)
+        folder = "inbox" if paid else "junk"
+        self._file(recipient.user, envelope, paid=paid, folder=folder)
+
+        if stamp is not None and stamp.list_token is not None:
+            self._auto_ack(recipient, envelope)
+        return True
+
+    def _auto_ack(self, recipient: Address, envelope: Envelope) -> None:
+        """Generate the automatic §5 acknowledgment for a list message."""
+        receipt = self.network.send(
+            recipient, to_sim_address(envelope.mail_from), TrafficKind.ACK
+        )
+        if receipt.status.blocked:
+            return
+        ack = make_ack_message(
+            envelope.message,
+            ack_sender=envelope.rcpt_to,
+            distributor=envelope.mail_from,
+        )
+        ack = stamp_message(
+            ack,
+            ZmailStamp(
+                sender_isp=f"isp{self.isp_id}", message_class=CLASS_ACK
+            ),
+        )
+        self.acks_sent += 1
+        if receipt.status is not SendStatus.DELIVERED_LOCAL:
+            self.transport.submit(
+                Envelope(envelope.rcpt_to, envelope.mail_from, ack)
+            )
+
+    def _file(
+        self, user_id: int, envelope: Envelope, *, paid: bool, folder: str
+    ) -> None:
+        record = DeliveryRecord(
+            envelope=envelope if self.retain_messages else Envelope(
+                envelope.mail_from, envelope.rcpt_to, MailMessage()
+            ),
+            paid=paid,
+            folder=folder,
+        )
+        self.mailbox(user_id).file(record)

@@ -1,0 +1,87 @@
+"""Mail transports: how a composed message reaches a receiving handler.
+
+Two implementations share one interface:
+
+* :class:`InMemoryTransport` — synchronous, deterministic delivery used by
+  tests and the discrete-event experiments;
+* the asyncio socket pair in :mod:`repro.smtp.server` /
+  :mod:`repro.smtp.client` — real SMTP over localhost TCP, used by the
+  SMTP-overhead experiment (E11) and the live demo example.
+
+A transport moves ``(envelope_from, envelope_to, message)`` triples; Zmail
+semantics live entirely above this layer, which is the paper's point about
+requiring no change to SMTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..errors import SMTPPermanentError
+from .message import MailMessage
+
+__all__ = ["Envelope", "DeliveryHandler", "MailTransport", "InMemoryTransport"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The SMTP envelope: reverse-path, forward-path and the message."""
+
+    mail_from: str
+    rcpt_to: str
+    message: MailMessage
+
+
+class DeliveryHandler(Protocol):
+    """Receiver-side hook invoked once per delivered message."""
+
+    def __call__(self, envelope: Envelope) -> None: ...  # pragma: no cover
+
+
+class MailTransport(Protocol):
+    """Anything that can deliver an envelope to a destination domain."""
+
+    def submit(self, envelope: Envelope) -> None:
+        """Deliver (or queue) ``envelope``; raise on permanent failure."""
+        ...  # pragma: no cover - protocol definition
+
+
+class InMemoryTransport:
+    """Synchronous in-process delivery keyed by recipient domain.
+
+    Example:
+        >>> seen = []
+        >>> t = InMemoryTransport()
+        >>> t.register_domain("isp0.example", seen.append)
+        >>> msg = MailMessage.compose(sender="a@x", recipient="u@isp0.example")
+        >>> t.submit(Envelope("a@x", "u@isp0.example", msg))
+        >>> len(seen)
+        1
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Callable[[Envelope], None]] = {}
+        self.delivered = 0
+        self.rejected = 0
+
+    def register_domain(
+        self, domain: str, handler: Callable[[Envelope], None]
+    ) -> None:
+        """Route mail for ``domain`` (case-insensitive) to ``handler``."""
+        self._handlers[domain.lower()] = handler
+
+    def submit(self, envelope: Envelope) -> None:
+        """Deliver immediately to the registered domain handler.
+
+        Raises:
+            SMTPPermanentError: 550 if no handler owns the domain — the
+                moral equivalent of "relay access denied".
+        """
+        domain = envelope.rcpt_to.rpartition("@")[2].lower()
+        handler = self._handlers.get(domain)
+        if handler is None:
+            self.rejected += 1
+            raise SMTPPermanentError(550, f"no route to domain {domain!r}")
+        self.delivered += 1
+        handler(envelope)

@@ -1,0 +1,23 @@
+"""Synthetic spam/ham corpora (substitute for the era's real mail).
+
+Real corpora matter to a content filter only through token statistics;
+these generators control those statistics directly (class-indicative
+pools, overlap, misspelling evasion), so the filtering baseline exhibits
+the same false-positive and evasion behaviour the paper discusses.
+"""
+
+from .datasets import Dataset, make_dataset
+from .generator import CorpusGenerator, LabeledMessage
+from .vocabulary import COMMON_WORDS, HAM_WORDS, SPAM_WORDS, Vocabulary, misspell
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "CorpusGenerator",
+    "LabeledMessage",
+    "Vocabulary",
+    "misspell",
+    "COMMON_WORDS",
+    "HAM_WORDS",
+    "SPAM_WORDS",
+]

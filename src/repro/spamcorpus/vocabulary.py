@@ -1,0 +1,106 @@
+"""Vocabularies for synthetic spam/ham generation.
+
+Real 2004-era corpora (which we do not have) matter to a Bayesian filter
+only through their token statistics: spam and ham share most function
+words but differ in a heavy-tailed set of class-indicative tokens. The
+vocabularies here encode exactly that structure, with controllable
+overlap, so the filtering baseline's false-positive and evasion behaviour
+(what experiment E10 measures) is driven by the same mechanism as on real
+mail.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "COMMON_WORDS",
+    "HAM_WORDS",
+    "SPAM_WORDS",
+    "misspell",
+    "Vocabulary",
+]
+
+# Function words and everyday vocabulary shared by both classes.
+COMMON_WORDS = [
+    "the", "and", "for", "you", "that", "with", "this", "have", "from",
+    "your", "are", "was", "will", "can", "all", "been", "about", "there",
+    "when", "which", "their", "would", "them", "like", "time", "just",
+    "know", "people", "into", "year", "good", "some", "could", "see",
+    "other", "than", "then", "now", "only", "come", "over", "also",
+    "back", "after", "work", "first", "well", "even", "want", "because",
+    "these", "give", "day", "most", "email", "please", "thanks", "best",
+    "regards", "meeting", "today", "tomorrow", "week", "send", "message",
+]
+
+# Tokens indicative of legitimate correspondence.
+HAM_WORDS = [
+    "project", "report", "deadline", "schedule", "attached", "review",
+    "budget", "quarterly", "team", "lunch", "conference", "interview",
+    "resume", "draft", "feedback", "agenda", "minutes", "proposal",
+    "contract", "invoice", "weekend", "family", "dinner", "birthday",
+    "photos", "vacation", "flight", "reservation", "homework", "class",
+    "lecture", "assignment", "paper", "professor", "semester", "thesis",
+    "commit", "patch", "release", "server", "deploy", "database",
+    "kernel", "module", "compile", "merge", "branch", "ticket",
+]
+
+# Tokens indicative of 2004-vintage spam.
+SPAM_WORDS = [
+    "viagra", "cialis", "pharmacy", "prescription", "pills", "meds",
+    "mortgage", "refinance", "rates", "approved", "loan", "credit",
+    "debt", "consolidate", "winner", "congratulations", "prize",
+    "lottery", "million", "dollars", "nigeria", "inheritance", "transfer",
+    "urgent", "confidential", "investment", "opportunity", "guaranteed",
+    "free", "offer", "limited", "act", "unsubscribe", "click", "here",
+    "enlargement", "weight", "loss", "miracle", "cheap", "discount",
+    "rolex", "replica", "software", "oem", "casino", "gambling",
+]
+
+_LEET = str.maketrans({"a": "4", "e": "3", "i": "1", "o": "0", "s": "5"})
+
+
+def misspell(word: str, rng: random.Random) -> str:
+    """Obfuscate a word the way evasive spammers did ("se><" for "sex").
+
+    Three paper-era tricks, chosen at random: leetspeak substitution,
+    inserted punctuation, or character doubling. The output never equals
+    the input for words of length >= 2.
+    """
+    if len(word) < 2:
+        return word + "."
+    trick = rng.randrange(3)
+    if trick == 0:
+        mutated = word.translate(_LEET)
+        if mutated != word:
+            return mutated
+        trick = 1
+    if trick == 1:
+        pos = rng.randrange(1, len(word))
+        return word[:pos] + "." + word[pos:]
+    pos = rng.randrange(len(word))
+    return word[: pos + 1] + word[pos] + word[pos + 1 :]
+
+
+class Vocabulary:
+    """Token pools with configurable class separation.
+
+    Args:
+        extra_overlap: Fraction of class-indicative words additionally
+            copied into the common pool — raising it makes the classes
+            harder to separate (drives the E10 false-positive sweep).
+        seed: RNG seed for the overlap sampling.
+    """
+
+    def __init__(self, *, extra_overlap: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= extra_overlap <= 1.0:
+            raise ValueError("extra_overlap outside [0, 1]")
+        rng = random.Random(seed)
+        self.common = list(COMMON_WORDS)
+        self.ham = list(HAM_WORDS)
+        self.spam = list(SPAM_WORDS)
+        if extra_overlap > 0:
+            k_ham = int(len(self.ham) * extra_overlap)
+            k_spam = int(len(self.spam) * extra_overlap)
+            self.common.extend(rng.sample(self.ham, k_ham))
+            self.common.extend(rng.sample(self.spam, k_spam))

@@ -1,0 +1,51 @@
+"""Tests for the alternating-bit protocol on the AP engine."""
+
+import pytest
+
+from repro.apn.alternating_bit import run_alternating_bit
+
+
+class TestAlternatingBit:
+    def test_lossless_run_delivers_everything(self):
+        result = run_alternating_bit(n_items=10, max_losses=0, seed=1)
+        assert result.correct
+        assert result.delivered_items == list(range(10))
+        assert result.retransmissions == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_lossy_runs_still_exactly_once_in_order(self, seed):
+        result = run_alternating_bit(n_items=12, max_losses=10, seed=seed)
+        assert result.correct, (
+            f"seed {seed}: delivered {result.delivered_items}"
+        )
+
+    def test_losses_force_retransmissions(self):
+        """Across seeds, injected losses are recovered by retransmission."""
+        total_losses = total_rexmit = 0
+        for seed in range(10):
+            result = run_alternating_bit(n_items=8, max_losses=6, seed=seed)
+            assert result.correct
+            total_losses += result.losses_injected
+            total_rexmit += result.retransmissions
+        assert total_losses > 0
+        assert total_rexmit >= total_losses  # each loss needs >= 1 resend
+
+    def test_single_item(self):
+        result = run_alternating_bit(n_items=1, max_losses=3, seed=2)
+        assert result.delivered_items == [0]
+
+    def test_zero_items(self):
+        result = run_alternating_bit(n_items=0, max_losses=3, seed=2)
+        assert result.delivered_items == []
+        assert result.steps == 0
+
+    def test_run_terminates_quiescent(self):
+        """After completion no action is enabled (true quiescence)."""
+        from repro.apn.alternating_bit import build_alternating_bit
+
+        scheduler, sender, receiver = build_alternating_bit(
+            n_items=5, max_losses=4, seed=3
+        )
+        scheduler.run(5000)
+        assert scheduler.enabled_actions() == []
+        assert receiver["delivered"] == list(range(5))

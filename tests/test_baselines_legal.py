@@ -1,0 +1,69 @@
+"""Tests for the §2.1 legal-approach models."""
+
+import pytest
+
+from repro.baselines.legal import (
+    SOPHOS_OFFSHORE_SHARE_2004,
+    JurisdictionModel,
+    RegistryModel,
+)
+
+
+class TestJurisdictionModel:
+    def test_initial_shares_match_sophos(self):
+        model = JurisdictionModel()
+        assert model.offshore_share == pytest.approx(
+            SOPHOS_OFFSHORE_SHARE_2004, abs=0.001
+        )
+
+    def test_enforcement_drives_offshore_migration(self):
+        model = JurisdictionModel()
+        model.run(10)
+        assert model.offshore_share > 0.95
+        assert model.onshore_volume < 0.05 * model.history[0][0]
+
+    def test_total_volume_barely_drops(self):
+        """The paper's point: laws relocate spam, they don't remove it."""
+        model = JurisdictionModel()
+        model.run(10)
+        assert model.volume_reduction() < 0.10
+
+    def test_full_exit_no_refill_does_reduce(self):
+        """Sanity: with no relocation and no refill, enforcement works —
+        the model can express both worlds."""
+        model = JurisdictionModel(relocation_fraction=0.0, demand_refill=0.0)
+        model.run(10)
+        assert model.volume_reduction() > 0.3
+
+    def test_history_recorded(self):
+        model = JurisdictionModel()
+        model.run(3)
+        assert len(model.history) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JurisdictionModel(enforcement_pressure=1.5)
+
+
+class TestRegistryModel:
+    def test_unleaked_registry_helps(self):
+        model = RegistryModel()
+        spam = model.spam_to_registered_user(baseline=100.0, leaked=False)
+        assert spam < 100.0  # lawful senders suppress their share
+
+    def test_leaked_registry_hurts(self):
+        model = RegistryModel()
+        spam = model.spam_to_registered_user(baseline=100.0, leaked=True)
+        assert spam > 100.0  # verified-live addresses attract more spam
+
+    def test_expected_change_positive_at_ftc_assumptions(self):
+        """With realistic leak risk the registry increases expected spam —
+        the FTC's 2004 conclusion."""
+        model = RegistryModel()
+        assert model.expected_change(baseline=100.0) > 0.0
+
+    def test_registry_could_work_in_a_lawful_world(self):
+        """If most bulk mail were lawful and leaks rare, it would help;
+        the model recovers that counterfactual too."""
+        model = RegistryModel(lawful_sender_share=0.9, leak_probability=0.05)
+        assert model.expected_change(baseline=100.0) < 0.0

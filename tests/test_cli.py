@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            ["quickstart"],
+            ["breakeven"],
+            ["compare"],
+            ["adoption", "--isps", "50"],
+            ["spec-check", "--steps", "100", "--cheat"],
+            ["zombie", "--limit", "10"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--messages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation consistent: True" in out
+        assert "conserved: True" in out
+
+    def test_breakeven(self, capsys):
+        assert main(["breakeven"]) == 0
+        out = capsys.readouterr().out
+        assert "101x" in out or "cost factor" in out
+        assert "pharma-bulk" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "zmail" in out
+        assert "shred/vanquish" in out
+
+    def test_adoption(self, capsys):
+        assert main(["adoption", "--isps", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "positive feedback" in out
+
+    def test_spec_check_honest(self, capsys):
+        assert main(["spec-check", "--steps", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged pairs:         0" in out
+
+    def test_spec_check_cheater_caught(self, capsys):
+        assert main(["spec-check", "--steps", "6000", "--cheat"]) == 0
+        out = capsys.readouterr().out
+        assert "cheater isp[1] caught: True" in out
+
+    def test_zombie(self, capsys):
+        assert main(["zombie", "--limit", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "zombie detected: True" in out
+
+
+class TestExtendedCommands:
+    def test_scenario(self, capsys):
+        assert main(["scenario", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all_consistent" in out and "True" in out
+
+    def test_audit_catches_minting(self, capsys):
+        assert main(["audit", "--mint", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT: isp1" in out
+
+    def test_audit_honest_all_clear(self, capsys):
+        assert main(["audit", "--mint", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "all clear" in out

@@ -1,0 +1,91 @@
+"""Tests for the incremental-deployment adoption model (§1.3, §5)."""
+
+import pytest
+
+from repro.core.config import NonCompliantMailPolicy
+from repro.core.deployment import AdoptionParams, AdoptionSimulation
+
+
+def run_sim(**kwargs):
+    defaults = dict(n_isps=60, seed=1)
+    defaults.update(kwargs)
+    sim = AdoptionSimulation(AdoptionParams(**defaults))
+    sim.run(max_rounds=200)
+    return sim
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        AdoptionParams()
+
+    def test_initial_compliant_bounds(self):
+        with pytest.raises(ValueError):
+            AdoptionParams(n_isps=10, initial_compliant=1)
+        with pytest.raises(ValueError):
+            AdoptionParams(n_isps=10, initial_compliant=11)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            AdoptionParams(spam_fraction=1.5)
+        with pytest.raises(ValueError):
+            AdoptionParams(base_switch_propensity=-0.1)
+
+
+class TestDynamics:
+    def test_starts_with_two_compliant(self):
+        sim = AdoptionSimulation(AdoptionParams(n_isps=50, seed=0))
+        assert sim.rounds[0].compliant_count == 2
+
+    def test_monotone_nondecreasing_adoption(self):
+        sim = run_sim()
+        counts = [r.compliant_count for r in sim.rounds]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_reaches_full_adoption(self):
+        sim = run_sim()
+        assert sim.rounds[-1].compliant_fraction == 1.0
+
+    def test_positive_feedback_from_two_isps(self):
+        """The paper's §5 claim: growth from 2 ISPs accelerates."""
+        sim = run_sim(n_isps=200, base_switch_propensity=0.1)
+        assert sim.has_positive_feedback()
+
+    def test_compliant_users_see_less_spam(self):
+        sim = run_sim()
+        for record in sim.rounds:
+            assert (
+                record.spam_seen_by_compliant_user
+                <= record.spam_seen_by_noncompliant_user
+            )
+
+    def test_compliant_spam_exposure_falls_with_adoption(self):
+        sim = run_sim()
+        exposures = [r.spam_seen_by_compliant_user for r in sim.rounds]
+        assert exposures[-1] < exposures[0]
+        assert exposures[-1] == 0.0  # full adoption: spam priced out
+
+    def test_stricter_policy_adopts_faster(self):
+        slow = run_sim(policy=NonCompliantMailPolicy.DELIVER, seed=3)
+        fast = run_sim(policy=NonCompliantMailPolicy.DISCARD, seed=3)
+        assert (fast.rounds_to_fraction(0.9) or 999) <= (
+            slow.rounds_to_fraction(0.9) or 999
+        )
+
+    def test_rounds_to_fraction(self):
+        sim = run_sim()
+        half = sim.rounds_to_fraction(0.5)
+        ninety = sim.rounds_to_fraction(0.9)
+        assert half is not None and ninety is not None
+        assert half <= ninety
+        assert sim.rounds_to_fraction(2.0) is None
+
+    def test_deterministic_given_seed(self):
+        a = run_sim(seed=7)
+        b = run_sim(seed=7)
+        assert [r.compliant_count for r in a.rounds] == [
+            r.compliant_count for r in b.rounds
+        ]
+
+    def test_zero_propensity_never_adopts(self):
+        sim = run_sim(base_switch_propensity=0.0)
+        assert sim.rounds[-1].compliant_count == 2

@@ -1,0 +1,232 @@
+"""Tests for CompliantISP / NonCompliantISP behaviour (§4.1, §5)."""
+
+import pytest
+
+from repro.core.config import NonCompliantMailPolicy, ZmailConfig
+from repro.core.isp import CompliantISP, NonCompliantISP
+from repro.core.transfer import Letter, SendStatus
+from repro.errors import SnapshotInProgress
+from repro.sim.workload import Address, TrafficKind
+
+DIRECTORY = {0: True, 1: True, 2: False}
+
+
+def make_isp(isp_id=0, users=4, **config_kwargs):
+    config = ZmailConfig(**config_kwargs)
+    isp = CompliantISP(isp_id, users, config)
+    isp.update_compliance(DIRECTORY)
+    return isp
+
+
+class TestLocalDelivery:
+    def test_epenny_moves_between_local_users(self):
+        isp = make_isp()
+        receipt = isp.submit(0, Address(0, 1), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.DELIVERED_LOCAL
+        assert isp.ledger.user(0).balance == 99
+        assert isp.ledger.user(1).balance == 101
+
+    def test_self_send_is_neutral(self):
+        isp = make_isp()
+        isp.submit(0, Address(0, 0), TrafficKind.NORMAL)
+        assert isp.ledger.user(0).balance == 100
+
+    def test_local_counts_against_limit(self):
+        isp = make_isp(default_daily_limit=1)
+        isp.submit(0, Address(0, 1), TrafficKind.NORMAL)
+        receipt = isp.submit(0, Address(0, 2), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.BLOCKED_LIMIT
+
+
+class TestInterISPSend:
+    def test_paid_send_updates_credit(self):
+        isp = make_isp()
+        receipt = isp.submit(0, Address(1, 2), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.SENT_PAID
+        assert receipt.letter == Letter(
+            Address(0, 0), Address(1, 2), TrafficKind.NORMAL, paid=True
+        )
+        assert isp.credit[1] == 1
+        assert isp.ledger.user(0).balance == 99
+
+    def test_unpaid_send_to_noncompliant(self):
+        isp = make_isp()
+        receipt = isp.submit(0, Address(2, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.SENT_UNPAID
+        assert not receipt.letter.paid
+        assert isp.ledger.user(0).balance == 100  # no charge
+        assert 2 not in isp.credit
+
+    def test_unpaid_send_ignores_limit(self):
+        """The paper's pseudocode guards balance/limit only on the
+        compliant branch."""
+        isp = make_isp(default_daily_limit=0)
+        receipt = isp.submit(0, Address(2, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.SENT_UNPAID
+
+    def test_blocked_on_empty_balance(self):
+        isp = make_isp(default_user_balance=0)
+        receipt = isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.BLOCKED_BALANCE
+        assert isp.stats.blocked_balance == 1
+
+    def test_blocked_on_limit_records_warning(self):
+        isp = make_isp(default_daily_limit=2)
+        for _ in range(2):
+            isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        receipt = isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.BLOCKED_LIMIT
+        assert isp.zombie_suspects() == [0]
+
+    def test_midnight_resets_quota(self):
+        isp = make_isp(default_daily_limit=1)
+        isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        isp.midnight()
+        receipt = isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.SENT_PAID
+
+
+class TestReceive:
+    def test_paid_receive_credits_user_and_debits_credit(self):
+        isp = make_isp(isp_id=0)
+        letter = Letter(Address(1, 3), Address(0, 2), TrafficKind.NORMAL, True)
+        assert isp.deliver(letter)
+        assert isp.ledger.user(2).balance == 101
+        assert isp.credit[1] == -1
+        assert isp.stats.received_paid == 1
+
+    def test_unknown_user_dropped(self):
+        isp = make_isp(users=2)
+        letter = Letter(Address(1, 0), Address(0, 9), TrafficKind.NORMAL, True)
+        assert not isp.deliver(letter)
+
+    def test_noncompliant_deliver_policy(self):
+        isp = make_isp()
+        letter = Letter(Address(2, 0), Address(0, 1), TrafficKind.SPAM, False)
+        assert isp.deliver(letter)
+        assert isp.ledger.user(1).balance == 100  # no payment
+        assert isp.stats.received_unpaid == 1
+
+    def test_noncompliant_discard_policy(self):
+        isp = make_isp(noncompliant_policy=NonCompliantMailPolicy.DISCARD)
+        letter = Letter(Address(2, 0), Address(0, 1), TrafficKind.SPAM, False)
+        assert not isp.deliver(letter)
+        assert isp.stats.discarded == 1
+
+    def test_noncompliant_segregate_policy(self):
+        isp = make_isp(noncompliant_policy=NonCompliantMailPolicy.SEGREGATE)
+        letter = Letter(Address(2, 0), Address(0, 1), TrafficKind.SPAM, False)
+        assert isp.deliver(letter)
+        assert isp.ledger.user(1).junk_folder == 1
+        assert isp.stats.junked == 1
+
+    def test_noncompliant_filter_policy(self):
+        config = ZmailConfig(noncompliant_policy=NonCompliantMailPolicy.FILTER)
+        isp = CompliantISP(
+            0, 4, config, spam_filter=lambda letter: letter.kind is not TrafficKind.SPAM
+        )
+        isp.update_compliance(DIRECTORY)
+        spam = Letter(Address(2, 0), Address(0, 1), TrafficKind.SPAM, False)
+        ham = Letter(Address(2, 0), Address(0, 1), TrafficKind.NORMAL, False)
+        assert not isp.deliver(spam)
+        assert isp.deliver(ham)
+        assert isp.stats.filtered_out == 1
+
+
+class TestSnapshots:
+    def test_sends_buffered_during_snapshot(self):
+        isp = make_isp()
+        isp.begin_snapshot(0)
+        receipt = isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.BUFFERED
+        assert isp.ledger.user(0).balance == 100  # not yet charged
+        reply = isp.snapshot_reply()
+        flushed = isp.resume_sending()
+        assert len(flushed) == 1
+        assert flushed[0].status is SendStatus.SENT_PAID
+        assert isp.ledger.user(0).balance == 99
+
+    def test_reply_resets_credit(self):
+        isp = make_isp()
+        isp.submit(0, Address(1, 0), TrafficKind.NORMAL)
+        isp.begin_snapshot(0)
+        assert isp.snapshot_reply() == {1: 1}
+        isp.resume_sending()
+        assert isp.credit == {}
+
+    def test_double_begin_rejected(self):
+        isp = make_isp()
+        isp.begin_snapshot(0)
+        with pytest.raises(SnapshotInProgress):
+            isp.begin_snapshot(1)
+
+    def test_reply_without_snapshot_rejected(self):
+        with pytest.raises(SnapshotInProgress):
+            make_isp().snapshot_reply()
+
+    def test_marker_books_overtaking_mail_to_next_period(self):
+        isp = make_isp(isp_id=0)
+        isp.begin_snapshot(0)
+        isp.note_marker(1)
+        letter = Letter(Address(1, 0), Address(0, 1), TrafficKind.NORMAL, True)
+        isp.deliver(letter)  # arrives after peer 1's marker
+        assert isp.snapshot_reply() == {}  # old period untouched
+        isp.resume_sending()
+        assert isp.credit == {1: -1}  # booked to the new period
+
+    def test_pre_marker_mail_books_to_old_period(self):
+        isp = make_isp(isp_id=0)
+        isp.begin_snapshot(0)
+        letter = Letter(Address(1, 0), Address(0, 1), TrafficKind.NORMAL, True)
+        isp.deliver(letter)  # no marker from 1 yet: old period
+        isp.note_marker(1)
+        assert isp.snapshot_reply() == {1: -1}
+
+    def test_early_marker_carries_into_snapshot(self):
+        isp = make_isp(isp_id=0)
+        isp.note_marker(1)  # marker races ahead of our own request
+        isp.begin_snapshot(0)
+        letter = Letter(Address(1, 0), Address(0, 1), TrafficKind.NORMAL, True)
+        isp.deliver(letter)
+        assert isp.snapshot_reply() == {}
+        isp.resume_sending()
+        assert isp.credit == {1: -1}
+
+
+class TestPoolThresholds:
+    def test_deficit_to_midpoint(self):
+        isp = make_isp(initial_pool=1000, minavail=2000, maxavail=6000)
+        assert isp.pool_deficit() == 3000  # midpoint 4000 - 1000
+
+    def test_no_deficit_above_min(self):
+        isp = make_isp(initial_pool=2500, minavail=2000, maxavail=6000)
+        assert isp.pool_deficit() == 0
+
+    def test_surplus_to_midpoint(self):
+        isp = make_isp(initial_pool=9000, minavail=2000, maxavail=6000)
+        assert isp.pool_surplus() == 5000
+
+    def test_no_surplus_below_max(self):
+        isp = make_isp(initial_pool=6000, minavail=2000, maxavail=6000)
+        assert isp.pool_surplus() == 0
+
+
+class TestNonCompliantISP:
+    def test_sends_free_unlimited(self):
+        isp = NonCompliantISP(2, 3)
+        for _ in range(1000):
+            receipt = isp.submit(0, Address(0, 1), TrafficKind.SPAM)
+            assert receipt.status is SendStatus.SENT_UNPAID
+        assert isp.stats.sent_unpaid == 1000
+
+    def test_local_delivery(self):
+        isp = NonCompliantISP(2, 3)
+        receipt = isp.submit(0, Address(2, 1), TrafficKind.NORMAL)
+        assert receipt.status is SendStatus.DELIVERED_LOCAL
+
+    def test_delivers_anything_in_range(self):
+        isp = NonCompliantISP(2, 3)
+        ok = Letter(Address(0, 0), Address(2, 1), TrafficKind.NORMAL, False)
+        bad = Letter(Address(0, 0), Address(2, 9), TrafficKind.NORMAL, False)
+        assert isp.deliver(ok)
+        assert not isp.deliver(bad)

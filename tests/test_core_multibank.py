@@ -1,0 +1,155 @@
+"""Tests for the distributed/hierarchical bank federation (§5 Bank Setup)."""
+
+import random
+
+import pytest
+
+from repro.core import ZmailNetwork
+from repro.core.multibank import BankFederation
+from repro.errors import ReplayDetected, UnknownISP
+from repro.sim.workload import Address, TrafficKind
+
+
+def traffic_reports(n_isps: int, messages: int, seed: int = 1,
+                    corrupt: dict[int, int] | None = None):
+    """Drive real traffic and collect honest (or corrupted) credit arrays."""
+    net = ZmailNetwork(n_isps=n_isps, users_per_isp=4, seed=seed)
+    rng = random.Random(seed)
+    for _ in range(messages):
+        net.send(
+            Address(rng.randrange(n_isps), rng.randrange(4)),
+            Address(rng.randrange(n_isps), rng.randrange(4)),
+            TrafficKind.NORMAL,
+        )
+    isps = net.compliant_isps()
+    for isp in isps.values():
+        isp.begin_snapshot(0)
+    reports = {}
+    for isp_id, isp in sorted(isps.items()):
+        credit = isp.snapshot_reply()
+        isp.resume_sending()
+        if corrupt and isp_id in corrupt:
+            credit = {k: v + corrupt[isp_id] for k, v in credit.items()}
+        reports[isp_id] = credit
+    return reports
+
+
+class TestFederationStructure:
+    def test_homing(self):
+        fed = BankFederation([[0, 1], [2, 3, 4]])
+        assert fed.home_region(0) == 0
+        assert fed.home_region(4) == 1
+        assert fed.n_isps == 5
+
+    def test_unknown_isp(self):
+        fed = BankFederation([[0, 1]])
+        with pytest.raises(UnknownISP):
+            fed.home_region(9)
+
+    def test_duplicate_homing_rejected(self):
+        with pytest.raises(ValueError, match="only one region"):
+            BankFederation([[0, 1], [1, 2]])
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            BankFederation([[0], []])
+
+    def test_compliance_directory_union(self):
+        fed = BankFederation([[0, 1], [2]])
+        assert fed.compliance_directory() == {0: True, 1: True, 2: True}
+
+
+class TestDistributedBuySell:
+    def test_routes_to_home_bank(self):
+        fed = BankFederation([[0], [1]], initial_account=500)
+        fed.buy_epennies(1, value=200, nonce=7)
+        assert fed.banks[1].account_balance(1) == 300
+        assert fed.banks[0].account_balance(0) == 500  # untouched
+
+    def test_replay_protection_preserved(self):
+        fed = BankFederation([[0], [1]])
+        fed.buy_epennies(0, value=10, nonce=5)
+        with pytest.raises(ReplayDetected):
+            fed.buy_epennies(0, value=10, nonce=5)
+
+    def test_total_deposits(self):
+        fed = BankFederation([[0, 1], [2]], initial_account=100)
+        assert fed.total_deposits() == 300
+        fed.sell_epennies(2, value=40, nonce=1)
+        assert fed.total_deposits() == 340
+
+
+class TestHierarchicalVerification:
+    def test_honest_round_consistent(self):
+        reports = traffic_reports(n_isps=6, messages=1500)
+        fed = BankFederation([[0, 1, 2], [3, 4, 5]])
+        outcome = fed.reconcile(reports)
+        assert outcome.consistent
+        # Every pair was checked exactly once somewhere.
+        assert outcome.total_pairs_checked == 6 * 5 // 2
+
+    def test_root_checks_only_cross_region_pairs(self):
+        reports = traffic_reports(n_isps=6, messages=500)
+        fed = BankFederation([[0, 1, 2], [3, 4, 5]])
+        outcome = fed.reconcile(reports)
+        assert outcome.root_pairs_checked == 9  # 3 x 3 cross pairs
+        for region in outcome.regions:
+            assert region.local_pairs_checked == 3  # C(3, 2)
+
+    def test_intra_region_cheater_caught_locally(self):
+        reports = traffic_reports(
+            n_isps=4, messages=1200, corrupt={1: 10}
+        )
+        fed = BankFederation([[0, 1], [2, 3]])
+        outcome = fed.reconcile(reports)
+        assert not outcome.consistent
+        assert 1 in outcome.suspects()
+        local_bad = outcome.regions[0].local_inconsistent
+        assert any({p.isp_a, p.isp_b} == {0, 1} for p in local_bad)
+
+    def test_cross_region_cheater_caught_at_root(self):
+        reports = traffic_reports(
+            n_isps=4, messages=1200, corrupt={3: 10}
+        )
+        fed = BankFederation([[0, 1], [2, 3]])
+        outcome = fed.reconcile(reports)
+        assert not outcome.consistent
+        assert 3 in outcome.suspects()
+        assert outcome.root_inconsistent  # found at the root level
+
+    def test_detection_equivalent_to_central_bank(self):
+        """Hierarchy changes where pairs are checked, never what is found."""
+        from repro.core.misbehavior import verify_credit_matrix
+
+        reports = traffic_reports(n_isps=8, messages=2500, corrupt={5: 7})
+        central = verify_credit_matrix(reports)
+        fed = BankFederation([[0, 1, 2, 3], [4, 5, 6, 7]])
+        federated = fed.reconcile(reports).all_inconsistent
+        assert sorted((p.isp_a, p.isp_b) for p in central) == sorted(
+            (p.isp_a, p.isp_b) for p in federated
+        )
+
+    def test_root_load_shrinks_with_more_regions(self):
+        reports = traffic_reports(n_isps=12, messages=1000)
+        two = BankFederation([list(range(0, 6)), list(range(6, 12))])
+        four = BankFederation(
+            [list(range(i, i + 3)) for i in range(0, 12, 3)]
+        )
+        # Root checks cross-region pairs: 36 for 2x6; 54 for 4x3 — but
+        # the *per-node* maximum work (max of root, regions) drops.
+        outcome_two = two.reconcile(reports)
+        outcome_four = four.reconcile(reports)
+        max_two = max(
+            [outcome_two.root_pairs_checked]
+            + [r.local_pairs_checked for r in outcome_two.regions]
+        )
+        central_pairs = 12 * 11 // 2
+        assert max_two < central_pairs
+        assert outcome_two.total_pairs_checked == central_pairs
+        assert outcome_four.total_pairs_checked == central_pairs
+
+    def test_rounds_recorded(self):
+        fed = BankFederation([[0], [1]])
+        fed.reconcile({0: {}, 1: {}})
+        fed.reconcile({0: {}, 1: {}})
+        assert [r.round_seq for r in fed.reports] == [0, 1]

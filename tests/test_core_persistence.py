@@ -1,0 +1,108 @@
+"""Tests for checkpoint/restore of deployments."""
+
+import random
+
+import pytest
+
+from repro.core import ZmailConfig, ZmailNetwork
+from repro.core.persistence import FORMAT_VERSION, checkpoint, dumps, loads, restore
+from repro.errors import SimulationError
+from repro.sim import Address, Engine, LinkSpec, TrafficKind
+
+
+def busy_network(seed=33, messages=500):
+    config = ZmailConfig(default_user_balance=40, auto_topup_amount=10)
+    net = ZmailNetwork(
+        n_isps=3, users_per_isp=6, compliant=[True, True, True],
+        config=config, seed=seed,
+    )
+    net.fund_user(Address(0, 0), pennies=200, epennies=50)
+    rng = random.Random(seed)
+    for _ in range(messages):
+        net.send(
+            Address(rng.randrange(3), rng.randrange(6)),
+            Address(rng.randrange(3), rng.randrange(6)),
+            TrafficKind.NORMAL,
+        )
+    return net
+
+
+class TestRoundTrip:
+    def test_total_value_preserved(self):
+        net = busy_network()
+        restored = restore(checkpoint(net))
+        assert restored.total_value() == net.total_value()
+        assert restored.expected_total_value() == net.expected_total_value()
+
+    def test_user_purses_preserved(self):
+        net = busy_network()
+        restored = restore(checkpoint(net))
+        for isp_id, isp in net.compliant_isps().items():
+            twin = restored.isps[isp_id]
+            for user in isp.ledger.users():
+                other = twin.ledger.user(user.user_id)
+                assert other.balance == user.balance
+                assert other.account == user.account
+                assert other.lifetime_sent == user.lifetime_sent
+                assert other.sent_today == user.sent_today
+
+    def test_credit_arrays_preserved(self):
+        net = busy_network()
+        restored = restore(checkpoint(net))
+        for isp_id, isp in net.compliant_isps().items():
+            assert restored.isps[isp_id].credit == isp.credit
+
+    def test_reconciliation_still_consistent_after_restore(self):
+        net = busy_network()
+        restored = restore(checkpoint(net))
+        assert restored.reconcile("direct").consistent
+
+    def test_restored_network_keeps_working(self):
+        net = busy_network()
+        restored = restore(checkpoint(net))
+        for i in range(50):
+            restored.send(Address(0, i % 6), Address(1, (i + 1) % 6))
+        assert restored.total_value() == restored.expected_total_value()
+
+    def test_bank_seq_preserved(self):
+        net = busy_network()
+        net.reconcile("direct")
+        net.reconcile("direct")
+        restored = restore(checkpoint(net))
+        assert restored.bank.next_seq == net.bank.next_seq
+
+    def test_json_string_round_trip(self):
+        net = busy_network()
+        payload = dumps(net, indent=2)
+        restored = loads(payload)
+        assert restored.total_value() == net.total_value()
+
+    def test_noncompliant_subset_preserved(self):
+        net = ZmailNetwork(
+            n_isps=3, users_per_isp=4, compliant=[True, False, True], seed=1
+        )
+        net.send(Address(0, 0), Address(2, 1))
+        restored = restore(checkpoint(net))
+        assert sorted(restored.compliant_isps()) == [0, 2]
+        assert restored.total_value() == net.total_value()
+
+
+class TestGuards:
+    def test_refuses_with_letters_in_flight(self):
+        engine = Engine()
+        net = ZmailNetwork(
+            n_isps=2, users_per_isp=3, seed=2, engine=engine,
+            link=LinkSpec(base_latency=10.0),
+        )
+        net.send(Address(0, 0), Address(1, 0))
+        with pytest.raises(SimulationError, match="in flight"):
+            checkpoint(net)
+        engine.run()
+        checkpoint(net)  # fine once drained
+
+    def test_version_checked(self):
+        net = busy_network(messages=10)
+        state = checkpoint(net)
+        state["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(SimulationError, match="version"):
+            restore(state)

@@ -1,0 +1,90 @@
+"""Race-condition tests for the §4.4 snapshot methods.
+
+The paper's timeout method relies on a real-time assumption: the quiesce
+window must exceed request-delivery skew plus in-flight drain time. These
+tests demonstrate both sides — the marker method staying consistent under
+hostile latency, and the timeout method producing false alarms when its
+window is violated (the behaviour benchmark E6a sweeps).
+"""
+
+from repro.core import ZmailConfig, ZmailNetwork
+from repro.sim import Engine, LinkSpec
+from repro.sim.workload import Address
+
+
+def busy_network(engine, *, quiesce, latency, jitter=0.0, seed=5):
+    config = ZmailConfig(snapshot_quiesce_seconds=quiesce)
+    net = ZmailNetwork(
+        n_isps=4,
+        users_per_isp=6,
+        seed=seed,
+        engine=engine,
+        config=config,
+        link=LinkSpec(base_latency=latency, jitter=jitter),
+    )
+
+    # Continuous cross-ISP chatter while the snapshot runs.
+    def chatter(i=0):
+        net.send(
+            Address(i % 4, i % 6), Address((i + 1) % 4, (i + 2) % 6)
+        )
+
+    for k in range(400):
+        engine.schedule_at(k * 0.05, lambda k=k: chatter(k))
+    return net
+
+
+class TestMarkerMethod:
+    def test_consistent_under_heavy_latency_and_traffic(self):
+        engine = Engine()
+        net = busy_network(engine, quiesce=1.0, latency=2.0, jitter=1.5)
+        engine.schedule_at(5.0, lambda: net.reconcile("marker"))
+        engine.run()
+        assert net.last_report is not None
+        assert net.last_report.consistent
+
+    def test_repeated_rounds_all_consistent(self):
+        engine = Engine()
+        net = busy_network(engine, quiesce=1.0, latency=0.8, jitter=0.5)
+        for t in (3.0, 9.0, 15.0):
+            engine.schedule_at(t, lambda: net.reconcile("marker"))
+        engine.run()
+        assert len(net.bank.reports) == 3
+        assert all(r.consistent for r in net.bank.reports)
+
+    def test_conservation_through_snapshot(self):
+        engine = Engine()
+        net = busy_network(engine, quiesce=1.0, latency=0.8)
+        engine.schedule_at(4.0, lambda: net.reconcile("marker"))
+        engine.run()
+        assert net.total_value() == net.expected_total_value()
+
+
+class TestTimeoutMethod:
+    def test_generous_window_is_consistent(self):
+        engine = Engine()
+        net = busy_network(engine, quiesce=60.0, latency=0.5, jitter=0.3)
+        engine.schedule_at(5.0, lambda: net.reconcile("timeout"))
+        engine.run()
+        assert net.last_report.consistent
+
+    def test_too_short_window_false_alarms(self):
+        """Quiesce far below the drain time → stale credit arrays."""
+        engine = Engine()
+        # Latency 30s but window only 0.2s: replies fire while mail from
+        # slower-request peers is still in flight.
+        net = busy_network(engine, quiesce=0.2, latency=30.0, seed=11)
+        engine.schedule_at(5.0, lambda: net.reconcile("timeout"))
+        engine.run()
+        assert net.last_report is not None
+        assert not net.last_report.consistent
+        # Honest ISPs get flagged: the false-alarm cost of a bad window.
+        assert net.last_report.flagged_isps()
+
+    def test_value_conserved_even_when_inconsistent(self):
+        """False alarms corrupt the *audit*, never the money."""
+        engine = Engine()
+        net = busy_network(engine, quiesce=0.2, latency=30.0, seed=11)
+        engine.schedule_at(5.0, lambda: net.reconcile("timeout"))
+        engine.run()
+        assert net.total_value() == net.expected_total_value()

@@ -1,0 +1,81 @@
+"""Tests for the number-theory primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto.numbers import egcd, generate_prime, is_probable_prime, modinv
+
+
+class TestEgcd:
+    def test_bezout_identity(self):
+        for a, b in [(12, 18), (35, 64), (17, 0), (0, 9), (101, 103)]:
+            g, x, y = egcd(a, b)
+            assert a * x + b * y == g
+
+    def test_gcd_values(self):
+        assert egcd(12, 18)[0] == 6
+        assert egcd(17, 5)[0] == 1
+        assert egcd(0, 7)[0] == 7
+
+
+class TestModinv:
+    def test_inverse_property(self):
+        for a, m in [(3, 7), (10, 17), (7, 26), (65537, 999331)]:
+            inv = modinv(a, m)
+            assert (a * inv) % m == 1
+            assert 0 <= inv < m
+
+    def test_not_coprime_rejected(self):
+        with pytest.raises(ValueError, match="no inverse"):
+            modinv(6, 9)
+
+    def test_negative_input_normalised(self):
+        inv = modinv(-3, 7)
+        assert (-3 * inv) % 7 == 1
+
+
+class TestPrimality:
+    KNOWN_PRIMES = [2, 3, 5, 7, 97, 541, 7919, 104729, 2**31 - 1]
+    KNOWN_COMPOSITES = [1, 0, -7, 4, 100, 561, 41041, 2**31 - 2]
+    # 561 and 41041 are Carmichael numbers: Fermat-fooling, Miller-Rabin not.
+
+    def test_known_primes(self):
+        for p in self.KNOWN_PRIMES:
+            assert is_probable_prime(p), p
+
+    def test_known_composites(self):
+        for c in self.KNOWN_COMPOSITES:
+            assert not is_probable_prime(c), c
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+
+    def test_large_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1))
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = random.Random(0)
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        """Ensures p*q has exactly 2*bits bits."""
+        rng = random.Random(1)
+        p = generate_prime(32, rng)
+        q = generate_prime(32, rng)
+        assert (p * q).bit_length() == 64
+
+    def test_deterministic_with_seed(self):
+        assert generate_prime(32, random.Random(5)) == generate_prime(
+            32, random.Random(5)
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            generate_prime(4, random.Random(0))

@@ -1,0 +1,113 @@
+"""Tests for the toy RSA NCR/DCR operators."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.rsa import dcr, dcr_object, generate_keypair, ncr, ncr_object
+from repro.errors import DecryptionError
+
+KEYS = generate_keypair(256, seed=42)  # module-level: keygen is slow-ish
+
+
+class TestKeyGeneration:
+    def test_moduli_match(self):
+        assert KEYS.public.n == KEYS.private.n
+
+    def test_modulus_size(self):
+        assert KEYS.public.n.bit_length() == 256
+
+    def test_deterministic_with_seed(self):
+        a = generate_keypair(128, seed=7)
+        b = generate_keypair(128, seed=7)
+        assert a.public == b.public and a.private == b.private
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(128, seed=1).public != generate_keypair(
+            128, seed=2
+        ).public
+
+    def test_mismatched_pair_rejected(self):
+        with pytest.raises(ValueError, match="moduli differ"):
+            KeyPair(PublicKey(15, 3), PrivateKey(21, 3))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(32)
+        with pytest.raises(ValueError):
+            generate_keypair(129)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"x",
+            b"hello zmail",
+            b"\x00\x01\x02\xff" * 10,
+            b"a" * 500,  # multi-block
+        ],
+    )
+    def test_encrypt_public_decrypt_private(self, payload):
+        assert dcr(KEYS.private, ncr(KEYS.public, payload)) == payload
+
+    def test_encrypt_private_decrypt_public(self):
+        """Signature-flavoured direction used for bank replies."""
+        payload = b"buyreply"
+        assert dcr(KEYS.public, ncr(KEYS.private, payload)) == payload
+
+    def test_semantic_masking(self):
+        """Equal plaintexts produce unequal ciphertexts (random prefix)."""
+        a = ncr(KEYS.public, b"same", seed=1)
+        b = ncr(KEYS.public, b"same", seed=2)
+        assert a != b
+        assert dcr(KEYS.private, a) == dcr(KEYS.private, b) == b"same"
+
+    def test_deterministic_with_seed(self):
+        assert ncr(KEYS.public, b"x", seed=9) == ncr(KEYS.public, b"x", seed=9)
+
+
+class TestFailureModes:
+    def test_wrong_key_fails(self):
+        other = generate_keypair(256, seed=99)
+        ciphertext = ncr(KEYS.public, b"secret")
+        with pytest.raises(DecryptionError):
+            dcr(other.private, ciphertext)
+
+    def test_truncated_ciphertext_rejected(self):
+        ciphertext = ncr(KEYS.public, b"secret")
+        with pytest.raises(DecryptionError, match="multiple"):
+            dcr(KEYS.private, ciphertext[:-5])
+
+    def test_empty_ciphertext_rejected(self):
+        with pytest.raises(DecryptionError):
+            dcr(KEYS.private, b"")
+
+
+class TestObjectForms:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            [123, 456],
+            {"value": 10, "nonce": 999},
+            "plain string",
+            [0, True],
+            [[1, 2], [3, 4]],
+        ],
+    )
+    def test_round_trip(self, obj):
+        assert dcr_object(KEYS.private, ncr_object(KEYS.public, obj)) == obj
+
+    def test_spec_shapes(self):
+        """The exact tuples the Zmail spec encrypts."""
+        buy = ncr_object(KEYS.public, [250, 0xDEADBEEF])
+        value, nonce = dcr_object(KEYS.private, buy)
+        assert (value, nonce) == (250, 0xDEADBEEF)
+        reply = ncr_object(KEYS.private, [0xDEADBEEF, True])
+        echoed, accepted = dcr_object(KEYS.public, reply)
+        assert echoed == 0xDEADBEEF and accepted is True
+
+    def test_garbage_json_rejected(self):
+        raw = ncr(KEYS.public, b"\xff\xfe not json")
+        with pytest.raises(DecryptionError, match="JSON"):
+            dcr_object(KEYS.private, raw)

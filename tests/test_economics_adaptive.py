@@ -1,0 +1,86 @@
+"""Tests for the adaptive profit-driven spammer."""
+
+import pytest
+
+from repro.core import ZmailConfig, ZmailNetwork
+from repro.economics.adaptive import AdaptiveSpammer
+from repro.sim.workload import Address
+
+
+def make_network(compliant_spammer: bool, seed=80):
+    flags = [True, True, True] if compliant_spammer else [True, True, False]
+    config = ZmailConfig(
+        default_daily_limit=10**6,
+        default_user_balance=10**6,  # the economics, not the purse, decides
+        auto_topup_amount=0,
+    )
+    return ZmailNetwork(
+        n_isps=3, users_per_isp=10, compliant=flags, config=config, seed=seed
+    )
+
+
+def make_spammer(compliant: bool, *, conversion=0.0005, seed=80, volume=200):
+    net = make_network(compliant, seed=seed)
+    spammer_isp = 0 if compliant else 2
+    return AdaptiveSpammer(
+        network=net,
+        address=Address(spammer_isp, 0),
+        conversion_rate=conversion,
+        epenny_dollars=0.01 if compliant else 0.0,
+        initial_volume=volume,
+        seed=seed,
+    )
+
+
+class TestAdaptiveDynamics:
+    def test_status_quo_spammer_grows(self):
+        """Free riding + profitable conversions: volume expands.
+
+        Volume must be large enough that expected conversions per period
+        exceed 1, or the feedback signal is pure noise."""
+        spammer = make_spammer(compliant=False, conversion=0.002, volume=2000)
+        spammer.run(periods=5)
+        assert spammer.final_volume() > spammer.initial_volume
+        assert spammer.total_profit() > 0
+
+    def test_zmail_spammer_collapses(self):
+        """Paying a cent per message at bulk conversion rates loses money
+        every period; the loop drives volume to nothing."""
+        spammer = make_spammer(compliant=True, conversion=0.0003, volume=2000)
+        spammer.run(periods=12)
+        assert spammer.collapsed()
+        assert spammer.total_profit() < 0  # tuition paid to learn the market
+
+    def test_high_value_targeted_campaign_survives_zmail(self):
+        """The paper: targeted advertising continues to exist."""
+        spammer = make_spammer(compliant=True, conversion=0.01, seed=81,
+                               volume=500)
+        spammer.run(periods=6)
+        assert not spammer.collapsed()
+        assert spammer.total_profit() > 0
+
+    def test_volume_reacts_to_profit_sign(self):
+        spammer = make_spammer(compliant=False, conversion=0.002, volume=2000)
+        outcome = spammer.run_period()
+        if outcome.profit > 0:
+            assert spammer.current_volume > outcome.attempted
+        else:
+            assert spammer.current_volume < outcome.attempted
+
+    def test_history_recorded_per_period(self):
+        spammer = make_spammer(compliant=False)
+        spammer.run(periods=5)
+        assert [o.period for o in spammer.history] == [0, 1, 2, 3, 4]
+
+    def test_conservation_all_the_while(self):
+        spammer = make_spammer(compliant=True)
+        spammer.run(periods=6)
+        net = spammer.network
+        assert net.total_value() == net.expected_total_value()
+
+    def test_validation(self):
+        net = make_network(True)
+        with pytest.raises(ValueError):
+            AdaptiveSpammer(network=net, address=Address(0, 0), growth=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveSpammer(network=net, address=Address(0, 0), initial_volume=0)

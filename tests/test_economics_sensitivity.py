@@ -1,0 +1,182 @@
+"""Tests for replication statistics and sensitivity analysis."""
+
+import pytest
+
+from repro.economics.sensitivity import (
+    ConfidenceInterval,
+    elasticity,
+    mean_ci,
+    replicate,
+)
+from repro.economics.spammer import CampaignModel, SpamRegime
+
+
+class TestMeanCI:
+    def test_constant_samples_zero_width(self):
+        ci = mean_ci([5.0] * 10)
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.contains(5.0)
+
+    def test_interval_covers_true_mean(self):
+        import random
+
+        rng = random.Random(0)
+        samples = [rng.gauss(10.0, 2.0) for _ in range(100)]
+        ci = mean_ci(samples, confidence=0.99)
+        assert ci.contains(10.0)
+
+    def test_higher_confidence_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mean_ci(samples, confidence=0.99).half_width > mean_ci(
+            samples, confidence=0.8
+        ).half_width
+
+    def test_more_samples_narrower(self):
+        import random
+
+        rng = random.Random(1)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        large = small * 10  # same spread, 10x n
+        assert mean_ci(large).half_width < mean_ci(small).half_width
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            mean_ci([1.0])
+
+    def test_str_form(self):
+        text = str(mean_ci([1.0, 2.0, 3.0]))
+        assert "±" in text and "n=3" in text
+
+
+class TestReplicate:
+    def test_collects_per_seed(self):
+        values = replicate(lambda seed: float(seed * 2), seeds=[1, 2, 3])
+        assert values == [2.0, 4.0, 6.0]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, seeds=[])
+
+    def test_user_neutrality_replicated(self):
+        """E4's claim holds across seeds, not just one lucky run."""
+        from repro.core import ZmailNetwork
+        from repro.economics import analyze_user_flows
+        from repro.sim import DAY, SeededStreams
+        from repro.sim.workload import NormalUserWorkload
+
+        def run(seed: int) -> float:
+            net = ZmailNetwork(n_isps=2, users_per_isp=8, seed=seed)
+            workload = NormalUserWorkload(
+                n_isps=2, users_per_isp=8, rate_per_day=10.0,
+                streams=SeededStreams(seed),
+            )
+            net.run_workload(workload.generate(3 * DAY))
+            return analyze_user_flows(net).mean_net_flow
+
+        values = replicate(run, seeds=range(6))
+        ci = mean_ci(values)
+        assert ci.contains(0.0)
+
+
+class TestElasticity:
+    def test_linear_model_elasticity_one(self):
+        assert elasticity(lambda x: 3.0 * x, 10.0) == pytest.approx(1.0)
+
+    def test_constant_model_elasticity_zero(self):
+        assert elasticity(lambda x: 42.0, 10.0) == pytest.approx(0.0)
+
+    def test_power_model(self):
+        assert elasticity(lambda x: x**2, 5.0) == pytest.approx(2.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            elasticity(lambda x: x, 0.0)
+        with pytest.raises(ValueError):
+            elasticity(lambda x: -1.0, 1.0)
+
+    def test_breakeven_rate_is_exactly_proportional_to_price(self):
+        """Structural check: the break-even response rate scales 1:1 with
+        the e-penny price — the paper's claim is not knife-edge."""
+        model = CampaignModel(1_000_000, 0.00003, 25.0)
+
+        def breakeven(price: float) -> float:
+            return model.break_even_response_rate(
+                SpamRegime.zmail(epenny_dollars=price)
+            )
+
+        value = elasticity(breakeven, 0.01)
+        assert value == pytest.approx(1.0, abs=0.02)
+
+    def test_optimal_volume_only_weakly_price_sensitive_for_survivors(self):
+        """Surviving (targeted) campaigns shrink sub-proportionally with
+        price (log dependence): |elasticity| < 1, unlike the bulk
+        campaigns that hit zero volume outright."""
+        model = CampaignModel(1_000_000, 0.002, 30.0)
+
+        def volume(price: float) -> float:
+            return float(
+                model.optimal_volume(SpamRegime.zmail(epenny_dollars=price))
+            )
+
+        assert abs(elasticity(volume, 0.01)) < 0.8
+
+
+class TestBufferValidation:
+    """required_buffer() checked against simulated random walks."""
+
+    def simulate_min_balance(self, rate, days, seed):
+        """Minimum running net flow of a balanced sender over the period."""
+        import random
+
+        rng = random.Random(seed)
+        # Poisson(rate) sends and receives per day, tracked daily.
+        balance = 0
+        minimum = 0
+        for _ in range(days):
+            sends = self._poisson(rng, rate)
+            receives = self._poisson(rng, rate)
+            balance += receives - sends
+            minimum = min(minimum, balance)
+        return minimum
+
+    @staticmethod
+    def _poisson(rng, lam):
+        import math
+
+        # Knuth's algorithm; lam is small here.
+        threshold = math.exp(-lam)
+        k, p = 0, 1.0
+        while True:
+            p *= rng.random()
+            if p <= threshold:
+                return k
+            k += 1
+
+    def test_buffer_covers_simulated_minimum_at_confidence(self):
+        from repro.economics import required_buffer
+
+        rate, days = 10, 30
+        buffer = required_buffer(rate, days, confidence=0.99)
+        shortfalls = 0
+        trials = 300
+        for seed in range(trials):
+            if -self.simulate_min_balance(rate, days, seed) > buffer:
+                shortfalls += 1
+        # At 99% the shortfall rate should be well under 5% (the bound is
+        # conservative by construction).
+        assert shortfalls / trials < 0.05
+
+    def test_buffer_not_absurdly_conservative(self):
+        """The bound should be within ~4x of the empirical 99th percentile,
+        or the 'pocket change' claim would be self-dealing."""
+        from repro.economics import required_buffer
+
+        rate, days = 10, 30
+        buffer = required_buffer(rate, days, confidence=0.99)
+        minima = sorted(
+            -self.simulate_min_balance(rate, days, seed)
+            for seed in range(300)
+        )
+        p99 = minima[int(0.99 * len(minima))]
+        assert buffer <= 4 * max(1, p99)

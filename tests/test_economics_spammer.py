@@ -1,0 +1,115 @@
+"""Tests for the spammer economics model (E1/E2 foundations)."""
+
+import math
+
+import pytest
+
+from repro.economics.breakeven import break_even_table, surviving_campaigns
+from repro.economics.spammer import (
+    STATUS_QUO_COST_PER_MSG,
+    CampaignModel,
+    SpamRegime,
+    cost_increase_factor,
+)
+
+
+def bulk_campaign(audience=1_000_000):
+    return CampaignModel(
+        audience=audience, conversion_rate=0.00003, revenue_per_response=25.0
+    )
+
+
+class TestRegimes:
+    def test_cost_increase_at_least_two_orders(self):
+        """The paper's headline §1.2 claim."""
+        assert cost_increase_factor() >= 100.0
+
+    def test_zmail_regime_costs_more(self):
+        assert SpamRegime.zmail().cost_per_message > (
+            SpamRegime.status_quo().cost_per_message
+        )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SpamRegime("bad", -1.0)
+
+
+class TestCampaignModel:
+    def test_responses_saturate_at_audience(self):
+        model = bulk_campaign(audience=1000)
+        assert model.expected_responses(10**9) <= 1000 * model.conversion_rate
+
+    def test_responses_monotone_in_volume(self):
+        model = bulk_campaign()
+        values = [model.expected_responses(v) for v in (0, 10, 1000, 10**6)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_break_even_rate_scales_with_cost(self):
+        model = bulk_campaign()
+        sq = model.break_even_response_rate(SpamRegime.status_quo())
+        zm = model.break_even_response_rate(SpamRegime.zmail())
+        assert zm / sq == pytest.approx(cost_increase_factor())
+
+    def test_optimal_volume_closed_form(self):
+        model = bulk_campaign()
+        regime = SpamRegime.status_quo()
+        expected = model.audience * math.log(
+            model.conversion_rate * model.revenue_per_response
+            / regime.cost_per_message
+        )
+        assert model.optimal_volume(regime) == int(expected)
+
+    def test_optimal_volume_is_actually_optimal(self):
+        """Brute-force check around the closed form."""
+        model = bulk_campaign(audience=10_000)
+        regime = SpamRegime.status_quo()
+        star = model.optimal_volume(regime)
+        best = model.expected_profit(star, regime)
+        for delta in (-2000, -500, 500, 2000):
+            assert model.expected_profit(star + delta, regime) <= best + 1e-6
+
+    def test_unprofitable_campaign_sends_nothing(self):
+        model = bulk_campaign()
+        assert model.optimal_volume(SpamRegime.zmail()) == 0
+        assert model.optimal_profit(SpamRegime.zmail()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignModel(audience=0, conversion_rate=0.1, revenue_per_response=1)
+        with pytest.raises(ValueError):
+            CampaignModel(audience=10, conversion_rate=1.5, revenue_per_response=1)
+        with pytest.raises(ValueError):
+            CampaignModel(audience=10, conversion_rate=0.1, revenue_per_response=-1)
+
+
+class TestBreakEvenTable:
+    def test_bulk_campaigns_die_targeted_survive(self):
+        """The paper: 'incentives will favor more targeted advertising'."""
+        rows = break_even_table()
+        survivors = surviving_campaigns(rows)
+        assert "targeted-niche" in survivors
+        assert "opt-in-retail" in survivors
+        assert "pharma-bulk" not in survivors
+        assert "mortgage-bulk" not in survivors
+
+    def test_every_campaign_volume_drops(self):
+        for row in break_even_table():
+            assert row.zmail_volume <= row.statusquo_volume
+            assert 0.0 <= row.volume_reduction <= 1.0
+
+    def test_aggregate_volume_reduction_substantial(self):
+        """'The amount of spam will undoubtedly decrease substantially.'"""
+        rows = break_even_table()
+        before = sum(r.statusquo_volume for r in rows)
+        after = sum(r.zmail_volume for r in rows)
+        assert after < 0.5 * before
+
+    def test_profits_nonnegative_at_optimum(self):
+        for row in break_even_table():
+            assert row.statusquo_profit >= 0.0
+            assert row.zmail_profit >= 0.0
+
+    def test_custom_campaign_list(self):
+        rows = break_even_table(campaigns=[("solo", 0.001, 10.0)])
+        assert len(rows) == 1 and rows[0].campaign == "solo"

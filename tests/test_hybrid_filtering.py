@@ -1,0 +1,123 @@
+"""Integration tests: content filtering at the non-compliant boundary.
+
+The §5 hybrid deployment — compliant ISPs filter mail from non-compliant
+peers but never filter paid mail — exercised end to end with real token
+content flowing through letters.
+"""
+
+import pytest
+
+from repro.baselines.letter_filter import (
+    ContentProvider,
+    make_letter_predicate,
+    train_default_filter,
+)
+from repro.core import NonCompliantMailPolicy, ZmailConfig, ZmailNetwork
+from repro.core.isp import CompliantISP
+from repro.sim.workload import Address, TrafficKind
+
+
+def build_hybrid(extra_overlap=0.0, evasion=0.0, seed=60, threshold=0.9):
+    """2 compliant ISPs with FILTER policy + 1 non-compliant ISP."""
+    config = ZmailConfig(noncompliant_policy=NonCompliantMailPolicy.FILTER)
+    net = ZmailNetwork(
+        n_isps=3, users_per_isp=6, compliant=[True, True, False],
+        config=config, seed=seed,
+    )
+    filt = train_default_filter(
+        extra_overlap=extra_overlap, seed=seed, threshold=threshold
+    )
+    predicate = make_letter_predicate(filt)
+    for isp in net.compliant_isps().values():
+        isp._spam_filter = predicate
+    provider = ContentProvider(
+        extra_overlap=extra_overlap, evasion_rate=evasion, seed=seed
+    )
+    return net, provider
+
+
+class TestHybridFiltering:
+    def test_noncompliant_spam_filtered_out(self):
+        net, provider = build_hybrid()
+        for i in range(60):
+            net.send(
+                Address(2, 0), Address(0, i % 6), TrafficKind.SPAM,
+                content=provider.spam(),
+            )
+        isp = net.isps[0]
+        assert isp.stats.filtered_out > 50  # nearly all spam caught
+
+    def test_noncompliant_ham_mostly_survives(self):
+        net, provider = build_hybrid()
+        for i in range(60):
+            net.send(
+                Address(2, 0), Address(0, i % 6), TrafficKind.NORMAL,
+                content=provider.ham(),
+            )
+        isp = net.isps[0]
+        assert isp.stats.received_unpaid > 55
+
+    def test_paid_mail_never_filtered(self):
+        """The asymmetry: compliant mail bypasses the filter entirely —
+        even if its content looks exactly like spam."""
+        net, provider = build_hybrid()
+        spammy_content = provider.spam()
+        for i in range(20):
+            receipt = net.send(
+                Address(1, 0), Address(0, i % 6), TrafficKind.NORMAL,
+                content=spammy_content,
+            )
+        isp = net.isps[0]
+        assert isp.stats.received_paid == 20
+        assert isp.stats.filtered_out == 0
+
+    def test_evasive_spam_leaks_through_filter(self):
+        net, provider = build_hybrid(evasion=1.0)
+        for i in range(60):
+            net.send(
+                Address(2, 0), Address(0, i % 6), TrafficKind.SPAM,
+                content=provider.spam(),
+            )
+        isp = net.isps[0]
+        leaked = isp.stats.received_unpaid
+        assert leaked > 5  # misspelling evasion defeats the boundary filter
+
+    def test_overlapping_vocab_costs_ham(self):
+        """False positives appear on hard corpora — the §2.2 cost that
+        paid mail never bears."""
+        # An aggressive boundary filter (threshold 0.5) on a hard corpus.
+        net, provider = build_hybrid(extra_overlap=0.8, seed=61, threshold=0.5)
+        lost = 0
+        for i in range(400):
+            before = net.isps[0].stats.filtered_out
+            net.send(
+                Address(2, 0), Address(0, i % 6), TrafficKind.NORMAL,
+                content=provider.ham(),
+            )
+            lost += net.isps[0].stats.filtered_out - before
+        assert lost >= 1
+
+    def test_contentless_letters_pass(self):
+        net, _ = build_hybrid()
+        receipt = net.send(Address(2, 0), Address(0, 1), TrafficKind.NORMAL)
+        assert net.isps[0].stats.received_unpaid == 1
+
+    def test_conservation_with_content(self):
+        net, provider = build_hybrid()
+        for i in range(100):
+            net.send(
+                Address(i % 2, i % 6), Address((i + 1) % 3, (i + 2) % 6),
+                TrafficKind.NORMAL, content=provider.ham(),
+            )
+        assert net.total_value() == net.expected_total_value()
+
+    def test_buffered_content_survives_snapshot(self):
+        net, provider = build_hybrid()
+        isp = net.isps[0]
+        assert isinstance(isp, CompliantISP)
+        isp.begin_snapshot(0)
+        content = provider.ham()
+        receipt = isp.submit(0, Address(1, 1), TrafficKind.NORMAL, content)
+        isp.snapshot_reply()
+        flushed = isp.resume_sending()
+        assert flushed[0].letter.content == content

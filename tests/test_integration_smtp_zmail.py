@@ -1,0 +1,118 @@
+"""Integration: Zmail accounting driven by real SMTP over localhost TCP.
+
+Demonstrates the paper's §1.3 claim end to end: unmodified SMTP carries
+the mail; the Zmail semantics live in the receiving ISP's handler and the
+``X-Zmail-*`` headers. Two ISP domains run real asyncio SMTP servers; a
+client submits mail; the handlers drive a :class:`ZmailNetwork`.
+"""
+
+import asyncio
+
+from repro.core import ZmailNetwork
+from repro.sim.workload import Address, TrafficKind
+from repro.smtp import (
+    Envelope,
+    MailMessage,
+    SMTPClient,
+    SMTPServer,
+    ZmailStamp,
+    from_sim_address,
+    read_stamp,
+    stamp_message,
+    to_sim_address,
+)
+
+
+class ZmailSMTPGateway:
+    """Glue object: one ISP's SMTP face over the shared ZmailNetwork."""
+
+    def __init__(self, network: ZmailNetwork, isp_id: int) -> None:
+        self.network = network
+        self.isp_id = isp_id
+        self.server = SMTPServer(
+            self.handle, hostname=f"isp{isp_id}.example"
+        )
+        self.delivered: list[Envelope] = []
+
+    async def handle(self, envelope: Envelope) -> None:
+        """Receiving side: trust the transport identity, run Zmail."""
+        sender = to_sim_address(envelope.mail_from)
+        recipient = to_sim_address(envelope.rcpt_to)
+        # The stamp must agree with the claimed origin ISP.
+        stamp = read_stamp(envelope.message)
+        assert stamp is not None and stamp.sender_isp == f"isp{sender.isp}"
+        self.network.send(sender, recipient, TrafficKind.NORMAL)
+        self.delivered.append(envelope)
+
+
+def submit_via_smtp(host, port, sender: Address, recipient: Address, body):
+    message = MailMessage.compose(
+        sender=str(from_sim_address(sender)),
+        recipient=str(from_sim_address(recipient)),
+        subject="over real smtp",
+        body=body,
+    )
+    stamped = stamp_message(message, ZmailStamp(sender_isp=f"isp{sender.isp}"))
+    envelope = Envelope(
+        str(from_sim_address(sender)), str(from_sim_address(recipient)), stamped
+    )
+
+    async def _send():
+        client = SMTPClient(host, port)
+        await client.connect()
+        await client.send(envelope)
+        await client.quit()
+
+    return _send()
+
+
+class TestSMTPZmailIntegration:
+    def test_epennies_move_over_real_smtp(self):
+        network = ZmailNetwork(n_isps=2, users_per_isp=4, seed=40)
+        gateway = ZmailSMTPGateway(network, isp_id=1)
+
+        async def scenario():
+            host, port = await gateway.server.start()
+            for i in range(5):
+                await submit_via_smtp(
+                    host, port, Address(0, 1), Address(1, 2), f"msg {i}"
+                )
+            await gateway.server.stop()
+
+        asyncio.run(scenario())
+
+        sender = network.isps[0].ledger.user(1)
+        receiver = network.isps[1].ledger.user(2)
+        assert sender.balance == network.config.default_user_balance - 5
+        assert receiver.balance == network.config.default_user_balance + 5
+        assert len(gateway.delivered) == 5
+
+    def test_credit_arrays_match_smtp_traffic(self):
+        network = ZmailNetwork(n_isps=2, users_per_isp=4, seed=41)
+        gateway = ZmailSMTPGateway(network, isp_id=1)
+
+        async def scenario():
+            host, port = await gateway.server.start()
+            for i in range(7):
+                await submit_via_smtp(
+                    host, port, Address(0, i % 4), Address(1, (i + 1) % 4), "x"
+                )
+            await gateway.server.stop()
+
+        asyncio.run(scenario())
+        assert network.isps[0].credit[1] == 7
+        assert network.isps[1].credit[0] == -7
+        assert network.reconcile("direct").consistent
+
+    def test_headers_survive_the_wire(self):
+        network = ZmailNetwork(n_isps=2, users_per_isp=4, seed=42)
+        gateway = ZmailSMTPGateway(network, isp_id=1)
+
+        async def scenario():
+            host, port = await gateway.server.start()
+            await submit_via_smtp(host, port, Address(0, 0), Address(1, 0), "x")
+            await gateway.server.stop()
+
+        asyncio.run(scenario())
+        stamp = read_stamp(gateway.delivered[0].message)
+        assert stamp.sender_isp == "isp0"

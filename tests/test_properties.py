@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants the paper's correctness rests on, exercised over arbitrary
+operation sequences rather than hand-picked ones:
+
+* e-penny conservation across arbitrary traffic;
+* credit anti-symmetry on every quiescent reconciliation;
+* the ledger's local conservation law under arbitrary exchanges;
+* RSA round-trips for arbitrary payloads;
+* nonce nonrepetition;
+* FIFO channel ordering;
+* daily-limit liability bound.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SendStatus, ZmailConfig, ZmailNetwork
+from repro.core.ledger import Ledger
+from repro.crypto import NonceSource, dcr, generate_keypair, ncr
+from repro.errors import InsufficientBalance, InsufficientFunds
+from repro.sim.workload import Address, TrafficKind
+
+KEYS = generate_keypair(192, seed=1234)
+
+# A small universe keeps runs fast while still covering inter/intra-ISP
+# and compliant/non-compliant combinations.
+N_ISPS, USERS = 3, 4
+
+addresses = st.builds(
+    Address,
+    isp=st.integers(min_value=0, max_value=N_ISPS - 1),
+    user=st.integers(min_value=0, max_value=USERS - 1),
+)
+
+send_ops = st.tuples(addresses, addresses)
+
+
+def build_network(compliant=(True, True, False)):
+    return ZmailNetwork(
+        n_isps=N_ISPS,
+        users_per_isp=USERS,
+        compliant=list(compliant),
+        config=ZmailConfig(default_user_balance=30, auto_topup_amount=5),
+        seed=0,
+    )
+
+
+class TestConservationProperties:
+    @given(ops=st.lists(send_ops, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_total_value_invariant_under_arbitrary_traffic(self, ops):
+        net = build_network()
+        for sender, recipient in ops:
+            net.send(sender, recipient)
+        assert net.total_value() == net.expected_total_value()
+
+    @given(ops=st.lists(send_ops, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_reconciliation_always_consistent(self, ops):
+        net = build_network()
+        for sender, recipient in ops:
+            net.send(sender, recipient)
+        report = net.reconcile("direct")
+        assert report.consistent
+
+    @given(ops=st.lists(send_ops, max_size=120), rounds=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_multiple_reconciliation_rounds(self, ops, rounds):
+        net = build_network()
+        chunk = max(1, len(ops) // rounds)
+        for i in range(0, len(ops), chunk):
+            for sender, recipient in ops[i : i + chunk]:
+                net.send(sender, recipient)
+            assert net.reconcile("direct").consistent
+
+    @given(ops=st.lists(send_ops, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_no_negative_balances_ever(self, ops):
+        net = build_network()
+        for sender, recipient in ops:
+            net.send(sender, recipient)
+        for isp in net.compliant_isps().values():
+            assert isp.ledger.pool >= 0
+            for user in isp.ledger.users():
+                assert user.balance >= 0
+                assert user.account >= 0
+
+    @given(ops=st.lists(send_ops, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_sum_per_message(self, ops):
+        """Sum of all user net flows is zero when only compliant ISPs
+        exchange mail (every debit has exactly one matching credit)."""
+        net = build_network(compliant=(True, True, True))
+        for sender, recipient in ops:
+            net.send(sender, recipient)
+        flows = [
+            user.net_epenny_flow
+            for isp in net.compliant_isps().values()
+            for user in isp.ledger.users()
+        ]
+        assert sum(flows) == 0
+
+
+class TestLedgerProperties:
+    exchange_ops = st.lists(
+        st.tuples(
+            st.sampled_from(["buy", "sell"]),
+            st.integers(min_value=0, max_value=USERS - 1),
+            st.integers(min_value=1, max_value=60),
+        ),
+        max_size=80,
+    )
+
+    @given(ops=exchange_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_exchange_conserves_total(self, ops):
+        ledger = Ledger(initial_pool=200)
+        for i in range(USERS):
+            ledger.add_user(i, account=100, balance=50, daily_limit=10)
+        before = ledger.totals().total_value
+        for op, user, amount in ops:
+            try:
+                if op == "buy":
+                    ledger.user_buys_epennies(user, amount)
+                else:
+                    ledger.user_sells_epennies(user, amount)
+            except (InsufficientBalance, InsufficientFunds):
+                pass  # refusals must leave state untouched
+        assert ledger.totals().total_value == before
+
+    @given(ops=exchange_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_refused_exchange_leaves_purses_consistent(self, ops):
+        ledger = Ledger(initial_pool=100)
+        ledger.add_user(0, account=50, balance=20, daily_limit=10)
+        for op, _, amount in ops:
+            snapshot = (
+                ledger.user(0).account,
+                ledger.user(0).balance,
+                ledger.pool,
+                ledger.cash,
+            )
+            try:
+                if op == "buy":
+                    ledger.user_buys_epennies(0, amount)
+                else:
+                    ledger.user_sells_epennies(0, amount)
+            except (InsufficientBalance, InsufficientFunds):
+                assert (
+                    ledger.user(0).account,
+                    ledger.user(0).balance,
+                    ledger.pool,
+                    ledger.cash,
+                ) == snapshot
+
+
+class TestCryptoProperties:
+    @given(payload=st.binary(max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_rsa_round_trip_arbitrary_bytes(self, payload):
+        assert dcr(KEYS.private, ncr(KEYS.public, payload)) == payload
+
+    @given(payload=st.binary(min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_rsa_signature_direction(self, payload):
+        assert dcr(KEYS.public, ncr(KEYS.private, payload)) == payload
+
+    @given(seed=st.integers(min_value=0, max_value=2**32), n=st.integers(1, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_nonce_nonrepetition(self, seed, n):
+        source = NonceSource(seed)
+        nonces = [source.next() for _ in range(n)]
+        assert len(set(nonces)) == n
+
+
+class TestChannelProperties:
+    @given(payloads=st.lists(st.integers(), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_any_sequence(self, payloads):
+        from repro.apn.channel import Channel, Message
+
+        chan = Channel("p", "q")
+        for p in payloads:
+            chan.send(Message("m", (p,)))
+        out = [chan.receive().fields[0] for _ in range(len(payloads))]
+        assert out == payloads
+
+
+class TestLimitProperties:
+    @given(
+        limit=st.integers(min_value=0, max_value=30),
+        attempts=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_daily_liability_never_exceeds_limit(self, limit, attempts):
+        """§5: a zombie burns at most `limit` e-pennies per day."""
+        config = ZmailConfig(
+            default_daily_limit=limit,
+            default_user_balance=1000,
+            auto_topup_amount=0,
+        )
+        net = ZmailNetwork(n_isps=2, users_per_isp=2, config=config, seed=0)
+        zombie = Address(0, 0)
+        before = net.isps[0].ledger.user(0).balance
+        for i in range(attempts):
+            net.send(zombie, Address(1, i % 2))
+        spent = before - net.isps[0].ledger.user(0).balance
+        assert spent <= limit
+        assert spent == min(limit, attempts)

@@ -1,0 +1,75 @@
+"""Public-API hygiene: exports exist, are documented, and import cleanly."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.apn",
+    "repro.smtp",
+    "repro.sim",
+    "repro.economics",
+    "repro.baselines",
+    "repro.crypto",
+    "repro.spamcorpus",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES[1:])
+    def test_every_public_item_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{package}.{name}")
+        assert not undocumented, undocumented
+
+    @pytest.mark.parametrize("package", PACKAGES[1:])
+    def test_public_methods_documented(self, package):
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(attr):
+                    continue
+                if attr.__name__ == "<lambda>":
+                    continue  # dataclass field defaults, not methods
+                if not (attr.__doc__ or "").strip():
+                    undocumented.append(f"{package}.{name}.{attr_name}")
+        assert not undocumented, undocumented
+
+
+class TestVersioning:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,178 @@
+"""SMTP server hardening tests: size limits, multi-recipient, pipelining."""
+
+import asyncio
+
+from repro.smtp.message import MailMessage
+from repro.smtp.server import SMTPServer
+
+
+async def raw_exchange(server, script):
+    """Drive raw lines; returns all reply codes (greeting first)."""
+    host, port = await server.start()
+    reader, writer = await asyncio.open_connection(host, port)
+    codes = [int((await reader.readline())[:3])]
+    for line in script:
+        writer.write(line.encode() + b"\r\n")
+        await writer.drain()
+        codes.append(int((await reader.readline())[:3]))
+    writer.close()
+    await server.stop()
+    return codes
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMultiRecipient:
+    def test_one_envelope_per_recipient(self):
+        received = []
+        server = SMTPServer(received.append)
+
+        async def scenario():
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await reader.readline()
+            for line in (
+                "EHLO me",
+                "MAIL FROM:<a@x.example>",
+                "RCPT TO:<b@y.example>",
+                "RCPT TO:<c@y.example>",
+                "RCPT TO:<d@y.example>",
+                "DATA",
+            ):
+                writer.write(line.encode() + b"\r\n")
+                await writer.drain()
+                await reader.readline()
+            writer.write(b"Subject: multi\r\n\r\nbody\r\n.\r\n")
+            await writer.drain()
+            await reader.readline()
+            writer.close()
+            await server.stop()
+
+        run(scenario())
+        assert [e.rcpt_to for e in received] == [
+            "b@y.example", "c@y.example", "d@y.example",
+        ]
+        assert all(e.message.subject == "multi" for e in received)
+
+
+class TestOversizeMessage:
+    def test_oversize_data_rejected_with_552(self):
+        received = []
+        server = SMTPServer(received.append)
+
+        async def scenario():
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await reader.readline()
+            for line in (
+                "EHLO me",
+                "MAIL FROM:<a@x.example>",
+                "RCPT TO:<b@y.example>",
+                "DATA",
+            ):
+                writer.write(line.encode() + b"\r\n")
+                await writer.drain()
+                await reader.readline()
+            # Stream > 1 MiB of body without the terminator appearing early.
+            chunk = ("x" * 1000 + "\r\n").encode()
+            for _ in range(1100):
+                writer.write(chunk)
+            writer.write(b".\r\n")
+            await writer.drain()
+            reply = await reader.readline()
+            writer.close()
+            await server.stop()
+            return int(reply[:3])
+
+        code = run(scenario())
+        assert code == 552
+        assert received == []
+
+    def test_session_usable_after_oversize_rejection(self):
+        received = []
+        server = SMTPServer(received.append)
+
+        async def scenario():
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await reader.readline()
+
+            async def command(line):
+                writer.write(line.encode() + b"\r\n")
+                await writer.drain()
+                return int((await reader.readline())[:3])
+
+            await command("EHLO me")
+            await command("MAIL FROM:<a@x.example>")
+            await command("RCPT TO:<b@y.example>")
+            await command("DATA")
+            chunk = ("y" * 1000 + "\r\n").encode()
+            for _ in range(1100):
+                writer.write(chunk)
+            writer.write(b".\r\n")
+            await writer.drain()
+            big = int((await reader.readline())[:3])
+            # Retry with a small message on the same session.
+            await command("MAIL FROM:<a@x.example>")
+            await command("RCPT TO:<b@y.example>")
+            await command("DATA")
+            writer.write(b"Subject: ok\r\n\r\nsmall\r\n.\r\n")
+            await writer.drain()
+            small = int((await reader.readline())[:3])
+            writer.close()
+            await server.stop()
+            return big, small
+
+        big, small = run(scenario())
+        assert big == 552 and small == 250
+        assert len(received) == 1
+
+
+class TestSessionRobustness:
+    def test_commands_after_quit_not_required(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(raw_exchange(server, ["EHLO me", "QUIT"]))
+        assert codes == [220, 250, 221]
+
+    def test_helo_resets_transaction(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(
+            raw_exchange(
+                server,
+                [
+                    "EHLO me",
+                    "MAIL FROM:<a@x.example>",
+                    "EHLO again",  # implicit RSET per RFC
+                    "MAIL FROM:<b@y.example>",
+                ],
+            )
+        )
+        assert codes == [220, 250, 250, 250, 250]
+
+    def test_lowercase_commands_accepted(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(
+            raw_exchange(
+                server, ["ehlo me", "mail FROM:<a@x.example>", "noop"]
+            )
+        )
+        assert codes == [220, 250, 250, 250]
+
+    def test_sessions_served_counter(self):
+        server = SMTPServer(lambda e: None)
+
+        async def scenario():
+            host, port = await server.start()
+            for _ in range(3):
+                reader, writer = await asyncio.open_connection(host, port)
+                await reader.readline()
+                writer.write(b"QUIT\r\n")
+                await writer.drain()
+                await reader.readline()
+                writer.close()
+            await server.stop()
+
+        run(scenario())
+        assert server.sessions_served == 3

@@ -1,0 +1,211 @@
+"""End-to-end tests of the asyncio SMTP server/client over localhost TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SMTPPermanentError
+from repro.smtp.client import SMTPClient, send_message
+from repro.smtp.message import MailMessage
+from repro.smtp.server import SMTPServer
+from repro.smtp.transport import Envelope
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_message(body="hello world", subject="Test"):
+    return MailMessage.compose(
+        sender="alice@isp0.example",
+        recipient="bob@isp1.example",
+        subject=subject,
+        body=body,
+    )
+
+
+class TestRoundTrip:
+    def test_single_message(self):
+        received = []
+
+        async def scenario():
+            server = SMTPServer(received.append, hostname="isp1.example")
+            host, port = await server.start()
+            client = SMTPClient(host, port)
+            await client.connect()
+            await client.send(
+                Envelope("alice@isp0.example", "bob@isp1.example", make_message())
+            )
+            await client.quit()
+            await server.stop()
+
+        run(scenario())
+        assert len(received) == 1
+        envelope = received[0]
+        assert envelope.mail_from == "alice@isp0.example"
+        assert envelope.rcpt_to == "bob@isp1.example"
+        assert envelope.message.subject == "Test"
+        assert envelope.message.body.strip() == "hello world"
+
+    def test_multiple_messages_one_session(self):
+        received = []
+
+        async def scenario():
+            server = SMTPServer(received.append)
+            host, port = await server.start()
+            client = SMTPClient(host, port)
+            await client.connect()
+            for i in range(5):
+                await client.send(
+                    Envelope(
+                        "a@x.example", "b@y.example", make_message(body=f"msg {i}")
+                    )
+                )
+            await client.quit()
+            await server.stop()
+
+        run(scenario())
+        assert [e.message.body.strip() for e in received] == [
+            f"msg {i}" for i in range(5)
+        ]
+
+    def test_dot_stuffing_round_trip(self):
+        """Lines starting with '.' must survive the DATA transparency rules."""
+        received = []
+        tricky = ".hidden leading dot\n..double\nnormal"
+
+        async def scenario():
+            server = SMTPServer(received.append)
+            host, port = await server.start()
+            client = SMTPClient(host, port)
+            await client.connect()
+            await client.send(
+                Envelope("a@x.example", "b@y.example", make_message(body=tricky))
+            )
+            await client.quit()
+            await server.stop()
+
+        run(scenario())
+        body = received[0].message.body.replace("\r\n", "\n").rstrip("\n")
+        assert body == tricky
+
+    def test_sync_send_message_helper(self):
+        received = []
+
+        async def scenario():
+            server = SMTPServer(received.append)
+            host, port = await server.start()
+            await asyncio.to_thread(
+                send_message, host, port, "a@x.example", "b@y.example",
+                make_message(),
+            )
+            await server.stop()
+
+        run(scenario())
+        assert len(received) == 1
+
+    def test_async_handler_supported(self):
+        received = []
+
+        async def handler(envelope):
+            await asyncio.sleep(0)
+            received.append(envelope)
+
+        async def scenario():
+            server = SMTPServer(handler)
+            host, port = await server.start()
+            client = SMTPClient(host, port)
+            await client.connect()
+            await client.send(
+                Envelope("a@x.example", "b@y.example", make_message())
+            )
+            await client.quit()
+            await server.stop()
+
+        run(scenario())
+        assert len(received) == 1
+
+
+class TestProtocolErrors:
+    @staticmethod
+    async def raw_session(server, *lines):
+        """Drive the server with raw command lines; return reply codes."""
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        replies = [await reader.readline()]  # greeting
+        for line in lines:
+            writer.write(line.encode() + b"\r\n")
+            await writer.drain()
+            replies.append(await reader.readline())
+        writer.close()
+        await server.stop()
+        return [int(r[:3]) for r in replies]
+
+    def test_mail_before_helo_rejected(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(self.raw_session(server, "MAIL FROM:<a@x.example>"))
+        assert codes == [220, 503]
+
+    def test_rcpt_before_mail_rejected(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(self.raw_session(server, "EHLO me", "RCPT TO:<b@y.example>"))
+        assert codes == [220, 250, 503]
+
+    def test_data_without_rcpt_rejected(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(
+            self.raw_session(server, "EHLO me", "MAIL FROM:<a@x.example>", "DATA")
+        )
+        assert codes == [220, 250, 250, 503]
+
+    def test_unknown_command(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(self.raw_session(server, "FROBNICATE now"))
+        assert codes == [220, 500]
+
+    def test_malformed_address_rejected(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(self.raw_session(server, "EHLO me", "MAIL FROM:<not-an-addr>"))
+        assert codes == [220, 250, 553]
+
+    def test_rset_clears_transaction(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(
+            self.raw_session(
+                server, "EHLO me", "MAIL FROM:<a@x.example>", "RSET",
+                "MAIL FROM:<c@z.example>",
+            )
+        )
+        assert codes == [220, 250, 250, 250, 250]
+
+    def test_noop_and_vrfy(self):
+        server = SMTPServer(lambda e: None)
+        codes = run(self.raw_session(server, "NOOP", "VRFY someone"))
+        assert codes == [220, 250, 252]
+
+    def test_rcpt_checker_rejects(self):
+        server = SMTPServer(
+            lambda e: None, rcpt_checker=lambda addr: addr.startswith("ok")
+        )
+        codes = run(
+            self.raw_session(
+                server, "EHLO me", "MAIL FROM:<a@x.example>",
+                "RCPT TO:<bad@y.example>", "RCPT TO:<ok@y.example>",
+            )
+        )
+        assert codes == [220, 250, 250, 550, 250]
+
+    def test_client_raises_on_rejected_rcpt(self):
+        async def scenario():
+            server = SMTPServer(lambda e: None, rcpt_checker=lambda a: False)
+            host, port = await server.start()
+            client = SMTPClient(host, port)
+            await client.connect()
+            with pytest.raises(SMTPPermanentError):
+                await client.send(
+                    Envelope("a@x.example", "b@y.example", make_message())
+                )
+            await client.quit()
+            await server.stop()
+
+        run(scenario())
