@@ -15,12 +15,16 @@ Run:
     pytest benchmarks/ --benchmark-only -s         # with the tables
 """
 
+import datetime
 import json
 import pathlib
-
-import pytest
+import uuid
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.jsonl"
+
+# One id per pytest session: every record a run appends carries the same
+# run_id, so partial/interrupted runs are distinguishable in the JSONL.
+RUN_ID = uuid.uuid4().hex[:12]
 
 
 def _format_cell(value):
@@ -50,16 +54,15 @@ def report(experiment: str, claim: str, rows: list[dict]) -> None:
                     _format_cell(row.get(k, "")).rjust(widths[k]) for k in keys
                 )
             )
+    # Append-only: interrupted or partial benchmark runs never clobber
+    # earlier results. make_experiments_md.py keeps the newest record per
+    # experiment by timestamp when rendering.
+    record = {
+        "experiment": experiment,
+        "claim": claim,
+        "rows": rows,
+        "run_id": RUN_ID,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
     with RESULTS_PATH.open("a") as fh:
-        fh.write(
-            json.dumps({"experiment": experiment, "claim": claim, "rows": rows})
-            + "\n"
-        )
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _fresh_results_file():
-    """Start every benchmark session with a clean results file."""
-    if RESULTS_PATH.exists():
-        RESULTS_PATH.unlink()
-    yield
+        fh.write(json.dumps(record) + "\n")

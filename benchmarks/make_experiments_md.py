@@ -94,14 +94,21 @@ def main() -> None:
             "no benchmarks/results.jsonl — run "
             "`pytest benchmarks/ --benchmark-only -s` first"
         )
-    # Keep only the most recent record per experiment id.
+    # Keep only the most recent record per experiment id. The file is
+    # append-only (interrupted runs never clobber it), so recency is
+    # decided by the ISO-8601 ``timestamp`` field; legacy records without
+    # one rank oldest, with file order breaking ties.
     latest = {}
     order = []
-    for line in RESULTS.read_text().splitlines():
+    for index, line in enumerate(RESULTS.read_text().splitlines()):
         record = json.loads(line)
-        if record["experiment"] not in latest:
-            order.append(record["experiment"])
-        latest[record["experiment"]] = record
+        name = record["experiment"]
+        recency = (record.get("timestamp", ""), index)
+        if name not in latest:
+            order.append(name)
+        if name not in latest or recency >= latest[name][0]:
+            latest[name] = (recency, record)
+    latest = {name: record for name, (recency, record) in latest.items()}
 
     def sort_key(name):
         head = name.split("-")[0].lstrip("E")

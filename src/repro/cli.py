@@ -28,6 +28,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Zmail (ICDCS 2005) reproduction — runnable scenarios",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the hottest "
+        "functions afterwards (e.g. `repro --profile scenario`)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="with --profile: number of rows to print (default 25)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     quickstart = sub.add_parser("quickstart", help="two-ISP zero-sum demo")
@@ -273,7 +286,17 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        code = profiler.runcall(command, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        return code
+    return command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,6 +43,8 @@ class LedgerTotals:
 class Ledger:
     """User purses plus the ISP e-penny pool, with §4.2 exchange ops."""
 
+    __slots__ = ("_users", "pool", "cash")
+
     def __init__(self, *, initial_pool: int) -> None:
         if initial_pool < 0:
             raise ValueError("initial_pool must be non-negative")

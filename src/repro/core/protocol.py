@@ -44,7 +44,7 @@ from .snapshot import (
     SnapshotRequest,
     TimeoutSnapshotCoordinator,
 )
-from .transfer import Letter, SendReceipt, SendStatus
+from .transfer import RECEIPT_BLOCKED_BALANCE, Letter, SendReceipt, SendStatus
 
 __all__ = ["ZmailNetwork"]
 
@@ -129,11 +129,37 @@ class ZmailNetwork:
         self._push_directory()
 
         self.metrics = MetricsRegistry()
+        # Hot-path counters, resolved once: the per-send/per-delivery code
+        # calls a cached bound increment instead of formatting a metric
+        # name and re-looking it up for every message.
+        metrics = self.metrics
+        self._inc_send_status = {
+            status: metrics.counter(f"send.{status.value}").increment
+            for status in SendStatus
+        }
+        self._inc_send_kind = {
+            kind: metrics.counter(f"send.kind.{kind.value}").increment
+            for kind in TrafficKind
+        }
+        self._inc_deliver_kind = {
+            kind: metrics.counter(f"deliver.kind.{kind.value}").increment
+            for kind in TrafficKind
+        }
+        self._inc_delivered = metrics.counter("deliver.delivered").increment
+        self._inc_dropped = metrics.counter("deliver.dropped").increment
+        self._inc_topup_count = metrics.counter("topup.count").increment
+        self._inc_topup_epennies = metrics.counter("topup.epennies").increment
         self.paid_letters_in_flight = 0
+        # Requests seen by run_workload/_dispatch_request; lets streaming
+        # callers read the attempt count without wrapping the (hot) request
+        # iterator in a counting generator.
+        self.workload_attempted = 0
         self._last_day_seen = 0
         self._external_deposit = 0
         self._bank_reply_handler = None
+        self.midnight_handle = None  # set by run_workload in engine mode
         self.last_report: ReconciliationReport | None = None
+        self._isp_names = [f"isp{isp_id}" for isp_id in range(n_isps)]
 
         self.engine = engine
         self.net: Network | None = None
@@ -229,8 +255,8 @@ class ZmailNetwork:
             and self.config.auto_topup_amount > 0
         ):
             receipt = self._retry_with_topup(isp, sender, recipient, kind, content)
-        self.metrics.counter(f"send.{receipt.status.value}").increment()
-        self.metrics.counter(f"send.kind.{kind.value}").increment()
+        self._inc_send_status[receipt.status]()
+        self._inc_send_kind[kind]()
         if receipt.letter is not None:
             self._route_letter(receipt.letter)
         return receipt
@@ -249,13 +275,13 @@ class ZmailNetwork:
             self.config.auto_topup_amount, user.account, isp.ledger.pool
         )
         if amount <= 0:
-            return SendReceipt(SendStatus.BLOCKED_BALANCE)
+            return RECEIPT_BLOCKED_BALANCE
         try:
             isp.ledger.user_buys_epennies(sender.user, amount)
         except InsufficientBalance:
-            return SendReceipt(SendStatus.BLOCKED_BALANCE)
-        self.metrics.counter("topup.count").increment()
-        self.metrics.counter("topup.epennies").increment(amount)
+            return RECEIPT_BLOCKED_BALANCE
+        self._inc_topup_count()
+        self._inc_topup_epennies(amount)
         return isp.submit(sender.user, recipient, kind, content)
 
     def _route_letter(self, letter: Letter) -> None:
@@ -264,9 +290,10 @@ class ZmailNetwork:
         if self.net is None:
             self._deliver_letter(letter)
         else:
+            names = self._isp_names
             self.net.send(
-                f"isp{letter.src_isp}",
-                f"isp{letter.dst_isp}",
+                names[letter.sender.isp],
+                names[letter.recipient.isp],
                 letter,
                 size=1024,
             )
@@ -274,10 +301,12 @@ class ZmailNetwork:
     def _deliver_letter(self, letter: Letter) -> None:
         if letter.paid:
             self.paid_letters_in_flight -= 1
-        delivered = self.isps[letter.dst_isp].deliver(letter)
-        name = "delivered" if delivered else "dropped"
-        self.metrics.counter(f"deliver.{name}").increment()
-        self.metrics.counter(f"deliver.kind.{letter.kind.value}").increment()
+        delivered = self.isps[letter.recipient.isp].deliver(letter)
+        if delivered:
+            self._inc_delivered()
+        else:
+            self._inc_dropped()
+        self._inc_deliver_kind[letter.kind]()
 
     # -- engine-mode message pump -----------------------------------------------------------
 
@@ -409,25 +438,59 @@ class ZmailNetwork:
 
     # -- workload driving --------------------------------------------------------------------
 
-    def run_workload(self, requests: Iterable[SendRequest]) -> None:
+    def run_workload(
+        self, requests: Iterable[SendRequest], *, streaming: bool = True
+    ) -> None:
         """Drive a time-ordered request stream through the deployment.
 
         Direct mode: requests execute immediately, with midnight work
-        applied at day boundaries. Engine mode: each request is scheduled
-        at its virtual time (callers then ``engine.run()``).
+        applied at day boundaries.
+
+        Engine mode with ``streaming=True`` (the default): the request
+        iterator is attached as an engine stream, pulled lazily between
+        heap events — the heap then only carries periodic/control timers
+        (midnights, reconciliations, deliveries), so a million-message
+        workload costs O(1) scheduling memory. With ``streaming=False``
+        every request is materialized as its own heap event + closure
+        (the legacy path, kept for comparison; the determinism tests
+        assert both paths produce identical results). Callers then
+        ``engine.run()`` either way.
         """
         if self.engine is None:
+            note_time = self.note_time
+            send = self.send
+            count = 0
             for request in requests:
-                self.note_time(request.time)
-                self.send(request.sender, request.recipient, request.kind)
+                note_time(request.time)
+                send(request.sender, request.recipient, request.kind)
+                count += 1
+            self.workload_attempted += count
             return
-        for request in requests:
-            self.engine.schedule_at(
-                request.time,
-                lambda r=request: self.send(r.sender, r.recipient, r.kind),
-                label="send",
+        if streaming:
+            self.engine.add_stream(
+                requests, self._dispatch_request, label="workload"
             )
-        self.engine.schedule_every(DAY, self._engine_midnight, label="midnight")
+        else:
+            dispatch = self._dispatch_request
+            for request in requests:
+                self.engine.schedule_at(
+                    request.time,
+                    lambda r=request: dispatch(r),
+                    label="send",
+                )
+        # The perpetual midnight chain; exposed so bounded runs can cancel
+        # it once the workload is done (otherwise the drain window would
+        # apply midnight work — notably pool rebalancing — for days the
+        # direct path never simulates, and cross-mode accounting would
+        # diverge).
+        self.midnight_handle = self.engine.schedule_every(
+            DAY, self._engine_midnight, label="midnight"
+        )
+
+    def _dispatch_request(self, request: SendRequest) -> None:
+        """Engine-stream dispatcher: one shared callback for all sends."""
+        self.workload_attempted += 1
+        self.send(request.sender, request.recipient, request.kind)
 
     def _engine_midnight(self) -> None:
         for isp in self.compliant_isps().values():

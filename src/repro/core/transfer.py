@@ -20,7 +20,15 @@ from enum import Enum
 
 from ..sim.workload import Address, TrafficKind
 
-__all__ = ["SendStatus", "Letter", "SendReceipt"]
+__all__ = [
+    "SendStatus",
+    "Letter",
+    "SendReceipt",
+    "RECEIPT_DELIVERED_LOCAL",
+    "RECEIPT_BLOCKED_BALANCE",
+    "RECEIPT_BLOCKED_LIMIT",
+    "RECEIPT_BUFFERED",
+]
 
 
 class SendStatus(Enum):
@@ -44,7 +52,7 @@ class SendStatus(Enum):
         return self in (SendStatus.BLOCKED_BALANCE, SendStatus.BLOCKED_LIMIT)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Letter:
     """An email in flight between ISPs.
 
@@ -76,7 +84,7 @@ class Letter:
         return self.recipient.isp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SendReceipt:
     """What a send attempt produced.
 
@@ -86,3 +94,13 @@ class SendReceipt:
 
     status: SendStatus
     letter: Letter | None = None
+
+
+# Interned letter-less receipts for the hot send path: a blocked or local
+# outcome carries no per-message state, so every caller can share one
+# frozen instance instead of allocating per send. (Receipts compare by
+# value, so ``SendReceipt(SendStatus.BUFFERED) == RECEIPT_BUFFERED``.)
+RECEIPT_DELIVERED_LOCAL = SendReceipt(SendStatus.DELIVERED_LOCAL)
+RECEIPT_BLOCKED_BALANCE = SendReceipt(SendStatus.BLOCKED_BALANCE)
+RECEIPT_BLOCKED_LIMIT = SendReceipt(SendStatus.BLOCKED_LIMIT)
+RECEIPT_BUFFERED = SendReceipt(SendStatus.BUFFERED)

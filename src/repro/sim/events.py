@@ -14,9 +14,14 @@ from typing import Callable
 __all__ = ["Event", "EventHandle"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
+
+    ``__slots__`` (via ``slots=True``) matters here: the engine allocates
+    one ``Event`` per timer, and large simulations create millions of
+    short-lived ones, so the per-instance ``__dict__`` is worth removing.
+    Arbitrary attributes cannot be attached to an ``Event``.
 
     Attributes:
         time: Absolute simulation time at which the event fires.

@@ -40,9 +40,14 @@ def summary_stats(values: Iterable[float]) -> dict[str, float]:
     }
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
-    """A named monotonically increasing total."""
+    """A named monotonically increasing total.
+
+    Incremented once or twice per simulated message, so it carries
+    ``__slots__``; hot callers should also hold the counter (or its bound
+    :meth:`increment`) rather than re-looking it up by name per message.
+    """
 
     name: str
     value: int = 0
@@ -54,7 +59,7 @@ class Counter:
         self.value += amount
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeSeries:
     """A sequence of (time, value) observations."""
 
@@ -107,6 +112,11 @@ class Histogram:
     Out-of-range observations accumulate in underflow/overflow buckets so
     no sample is silently dropped.
     """
+
+    __slots__ = (
+        "name", "low", "high", "bins", "counts",
+        "underflow", "overflow", "_samples", "_total",
+    )
 
     def __init__(self, name: str, low: float, high: float, bins: int) -> None:
         if high <= low:

@@ -12,7 +12,14 @@ import hashlib
 import random
 from typing import Iterator, Sequence, TypeVar
 
-__all__ = ["SeededStreams", "derive_seed"]
+try:  # numpy accelerates bulk draws; everything degrades gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _np = None
+
+__all__ = ["SeededStreams", "derive_seed", "HAVE_NUMPY"]
+
+HAVE_NUMPY = _np is not None
 
 T = TypeVar("T")
 
@@ -41,6 +48,7 @@ class SeededStreams:
     def __init__(self, root_seed: int) -> None:
         self.root_seed = root_seed
         self._streams: dict[str, random.Random] = {}
+        self._np_streams: dict[str, object] = {}
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -49,6 +57,28 @@ class SeededStreams:
             stream = random.Random(derive_seed(self.root_seed, name))
             self._streams[name] = stream
         return stream
+
+    def get_numpy(self, name: str):
+        """Return a ``numpy.random.Generator`` for ``name`` (bulk draws).
+
+        Numpy generators live in their own namespace (the seed is derived
+        from ``"numpy:" + name``), so a python stream and a numpy stream
+        with the same name stay independent. Used by the workload fast
+        paths to draw whole arrays of inter-arrival times and targets in
+        one call while keeping per-seed determinism.
+
+        Raises:
+            RuntimeError: if numpy is not installed (check
+                :data:`HAVE_NUMPY` first on optional paths).
+        """
+        if _np is None:  # pragma: no cover - exercised only on numpy-less hosts
+            raise RuntimeError("numpy is not available; check rng.HAVE_NUMPY")
+        generator = self._np_streams.get(name)
+        if generator is None:
+            seed = derive_seed(self.root_seed, f"numpy:{name}")
+            generator = _np.random.Generator(_np.random.PCG64(seed))
+            self._np_streams[name] = generator
+        return generator
 
     def spawn(self, name: str) -> "SeededStreams":
         """Create a child registry whose root seed is derived from ``name``.

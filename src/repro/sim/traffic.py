@@ -15,9 +15,14 @@ from dataclasses import dataclass, field
 __all__ = ["TrafficMatrix"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficMatrix:
-    """Counts of messages per directed ISP pair."""
+    """Counts of messages per directed ISP pair.
+
+    ``record`` runs once per inter-ISP message when installed as a network
+    tap, so it stays a two-dict-op hot path (and the class carries
+    ``__slots__``).
+    """
 
     counts: dict[tuple[int, int], int] = field(default_factory=dict)
 
