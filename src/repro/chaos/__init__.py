@@ -1,0 +1,52 @@
+"""Chaos harness: deterministic fault-injection campaigns for Zmail.
+
+The paper's protocol arguments (§3–§4.4) rest on channel and liveness
+assumptions — in-order delivery, eventual receipt, nodes that stay up.
+This package earns those assumptions the hard way: it injects message
+faults (drop, duplicate, reorder, delay), fail-stop crashes of ISPs and
+the bank, and verifies continuously that the economic invariants survive
+recovery. Campaigns are bit-reproducible from a single seed.
+
+Layers:
+
+* :mod:`.faults` — :class:`FaultyNetwork`, per-link fault injection;
+* :mod:`.monitors` — :class:`InvariantMonitor`, always-on invariant
+  checks with first-violation reporting;
+* :mod:`.snapshot` — :class:`RetryingSnapshotCoordinator`, §4.4
+  reconciliation that converges under faults and crashes;
+* :mod:`.crash` — :class:`CrashController`, journal-based crash/restart
+  on :mod:`repro.core.persistence`;
+* :mod:`.deployment` — :class:`ChaosDeployment`, the wired system;
+* :mod:`.campaign` — campaign specs, the runner and report formatting.
+"""
+
+from .campaign import (
+    DEFAULT_SPEC,
+    format_report,
+    load_spec,
+    run_campaign,
+    run_cell,
+)
+from .crash import CrashController, CrashEvent
+from .deployment import ChaosDeployment
+from .faults import NO_FAULTS, FaultSpec, FaultyNetwork
+from .monitors import InvariantMonitor, Violation, accounting_digest
+from .snapshot import RetryingSnapshotCoordinator
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "format_report",
+    "load_spec",
+    "run_campaign",
+    "run_cell",
+    "CrashController",
+    "CrashEvent",
+    "ChaosDeployment",
+    "NO_FAULTS",
+    "FaultSpec",
+    "FaultyNetwork",
+    "InvariantMonitor",
+    "Violation",
+    "accounting_digest",
+    "RetryingSnapshotCoordinator",
+]

@@ -1,0 +1,250 @@
+"""Chaos campaigns: a matrix of fault mixes × scenarios with a verdict.
+
+A campaign spec is a plain dict (loadable from JSON, or YAML when
+available) describing a deployment, a workload, and a list of *cells* —
+each cell a named fault mix plus an optional crash schedule. Running the
+campaign executes every cell in its own deployment, drains it to
+quiescence, and emits a pass/fail row per cell:
+
+* **pass** requires the cell to converge (quiescence reached), keep every
+  invariant monitor green, conserve total value, and commit every
+  reconciliation round it started.
+
+Determinism: each cell's seed derives from the campaign seed and the
+cell's name (SHA-256), every random decision inside a cell flows from
+that seed, and reports contain no wall-clock timestamps — so the same
+spec and seed produce byte-identical reports, and a failing cell can be
+replayed from the seed printed in its row.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Any
+
+from ..errors import SimulationError
+from ..sim.rng import SeededStreams, derive_seed
+from ..sim.workload import NormalUserWorkload
+from .crash import CrashEvent
+from .deployment import ChaosDeployment
+from .faults import FaultSpec
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "load_spec",
+    "run_cell",
+    "run_campaign",
+    "format_report",
+]
+
+
+#: The built-in campaign: a clean baseline, a heavily faulty wire, and a
+#: crashy cell combining link faults with ISP and bank crash/restart plus
+#: periodic reconciliation. Sized to finish in well under a minute (the
+#: CI smoke budget) while still exercising every chaos subsystem.
+DEFAULT_SPEC: dict[str, Any] = {
+    "name": "builtin",
+    "seed": 7,
+    "deployment": {
+        "n_isps": 3,
+        "users_per_isp": 6,
+        "monitor_interval": 5.0,
+        "reconcile_every": 150.0,
+    },
+    "workload": {
+        "rate_per_day": 4000.0,
+        "duration": 600.0,
+    },
+    "drain_window": 900.0,
+    "cells": [
+        {
+            "name": "clean",
+            "faults": {},
+            "crashes": [],
+        },
+        {
+            "name": "lossy-dup-reorder",
+            "faults": {
+                "drop_rate": 0.2,
+                "duplicate_rate": 0.15,
+                "reorder_rate": 0.2,
+                "reorder_delay": 2.0,
+            },
+            "crashes": [],
+        },
+        {
+            "name": "crashy",
+            "faults": {
+                "drop_rate": 0.1,
+                "duplicate_rate": 0.1,
+                "reorder_rate": 0.1,
+            },
+            "crashes": [
+                {"node": "isp1", "at": 120.0, "down_for": 60.0},
+                {"node": "bank", "at": 300.0, "down_for": 45.0},
+            ],
+        },
+    ],
+}
+
+
+def load_spec(path: str) -> dict[str, Any]:
+    """Load a campaign spec from a JSON (preferred) or YAML file.
+
+    Raises:
+        SimulationError: if the file parses as neither.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as json_err:
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - yaml is normally present
+            raise SimulationError(
+                f"{path}: not valid JSON ({json_err}) and PyYAML is unavailable"
+            ) from json_err
+        try:
+            spec = yaml.safe_load(text)
+        except yaml.YAMLError as yaml_err:
+            raise SimulationError(
+                f"{path}: parses as neither JSON ({json_err}) "
+                f"nor YAML ({yaml_err})"
+            ) from yaml_err
+    if not isinstance(spec, dict):
+        raise SimulationError(f"{path}: campaign spec must be a mapping")
+    _validate(spec)
+    return spec
+
+
+def _validate(spec: dict[str, Any]) -> None:
+    cells = spec.get("cells")
+    if not cells:
+        raise SimulationError("campaign spec has no cells")
+    names = [cell.get("name") for cell in cells]
+    if any(not name for name in names):
+        raise SimulationError("every campaign cell needs a name")
+    if len(set(names)) != len(names):
+        raise SimulationError(f"duplicate cell names: {sorted(names)}")
+
+
+def run_cell(
+    spec: dict[str, Any], cell: dict[str, Any], *, seed: int
+) -> dict[str, Any]:
+    """Run one campaign cell in a fresh deployment; returns its report row."""
+    cell_seed = derive_seed(seed, f"cell:{cell['name']}")
+    deployment_kwargs = {
+        **spec.get("deployment", {}),
+        **cell.get("deployment", {}),
+    }
+    workload_kwargs = {**spec.get("workload", {}), **cell.get("workload", {})}
+    duration = float(workload_kwargs.pop("duration", 600.0))
+    faults = FaultSpec(**cell.get("faults", {}))
+
+    deployment = ChaosDeployment(
+        seed=cell_seed, faults=faults, **deployment_kwargs
+    )
+    for crash in cell.get("crashes", []):
+        deployment.schedule_crash(CrashEvent(**crash))
+    workload = NormalUserWorkload(
+        n_isps=deployment.network.n_isps,
+        users_per_isp=deployment.network.users_per_isp,
+        streams=SeededStreams(derive_seed(cell_seed, "chaos-workload")),
+        **workload_kwargs,
+    )
+    converged = deployment.run(
+        workload.generate(duration),
+        until=duration,
+        drain_window=float(spec.get("drain_window", 900.0)),
+    )
+
+    network = deployment.network
+    stats = deployment.stats()
+    conserved = network.total_value() == network.expected_total_value()
+    first = deployment.monitor.first_violation
+    passed = (
+        converged
+        and conserved
+        and stats["violations"] == 0
+        and stats["snapshot_failed"] == 0
+    )
+    return {
+        "cell": cell["name"],
+        "seed": cell_seed,
+        "passed": passed,
+        "converged": converged,
+        "conserved": conserved,
+        "delivered": network.metrics.counter("deliver.delivered").value,
+        "first_violation": str(first) if first is not None else None,
+        "digest": deployment.digest(),
+        **stats,
+    }
+
+
+def run_campaign(spec: dict[str, Any], *, seed: int | None = None) -> dict[str, Any]:
+    """Run every cell of ``spec``; returns the campaign report dict.
+
+    Args:
+        seed: Override the spec's seed (the CLI's ``--seed``).
+    """
+    _validate(spec)
+    spec = copy.deepcopy(spec)
+    campaign_seed = int(spec.get("seed", 0) if seed is None else seed)
+    rows = [
+        run_cell(spec, cell, seed=campaign_seed) for cell in spec["cells"]
+    ]
+    return {
+        "campaign": spec.get("name", "unnamed"),
+        "seed": campaign_seed,
+        "cells": rows,
+        "passed": all(row["passed"] for row in rows),
+    }
+
+
+_COLUMNS = [
+    ("cell", "cell"),
+    ("pass", "passed"),
+    ("conv", "converged"),
+    ("cons", "conserved"),
+    ("viol", "violations"),
+    ("submits", "submits"),
+    ("delivered", "delivered"),
+    ("rexmit", "retransmissions"),
+    ("crashes", "crashes"),
+    ("rounds", "snapshot_rounds"),
+    ("committed", "snapshot_committed"),
+]
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Render a campaign report as a deterministic fixed-width table."""
+    lines = [
+        f"campaign {report['campaign']!r}  seed={report['seed']}  "
+        f"verdict={'PASS' if report['passed'] else 'FAIL'}"
+    ]
+    rows = []
+    for row in report["cells"]:
+        rows.append([
+            str(row[key]) if not isinstance(row[key], bool)
+            else ("yes" if row[key] else "NO")
+            for _, key in _COLUMNS
+        ])
+    headers = [title for title, _ in _COLUMNS]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    for row in report["cells"]:
+        lines.append(f"{row['cell']}: digest {row['digest']}")
+        if row["first_violation"]:
+            lines.append(
+                f"{row['cell']}: FIRST VIOLATION {row['first_violation']} "
+                f"(replay with seed {row['seed']})"
+            )
+    return "\n".join(lines)

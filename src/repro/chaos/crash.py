@@ -1,0 +1,132 @@
+"""Crash/restart of individual nodes mid-run.
+
+The crash model is fail-stop with durable storage:
+
+* **Crash** — the node's durable state (ledger, credit arrays, bank
+  accounts — exactly what :mod:`repro.core.persistence` journals) is
+  written out at the crash instant; everything volatile is lost: frames
+  in flight to and from the node, an open snapshot pause, the buffered
+  outbox. The node's reliable endpoints are torn down (cancelling their
+  retransmission timers) but keep their sequence state — that is the
+  mail-queue journal.
+* **Restart** — a *fresh* node object is built and the journal loaded
+  into it (for ISPs; the bank restores in place), the endpoint reopens
+  and resumes retransmitting unacked mail, and any user submissions that
+  arrived while the node was down (queued client-side by the deployment)
+  are flushed.
+
+Journals round-trip through actual JSON text, not live object graphs, so
+a restart can only see what a real process would find on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core import persistence
+from ..core.isp import CompliantISP
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .deployment import ChaosDeployment
+
+__all__ = ["CrashEvent", "CrashController"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled crash: ``node`` goes down at ``at`` for ``down_for``."""
+
+    node: str
+    at: float
+    down_for: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.down_for <= 0:
+            raise SimulationError(
+                f"crash of {self.node!r} needs at >= 0 and down_for > 0"
+            )
+
+
+class CrashController:
+    """Executes scheduled crashes and restarts against a deployment."""
+
+    def __init__(self, deployment: "ChaosDeployment") -> None:
+        self.deployment = deployment
+        self._journals: dict[str, str] = {}
+        self.crashes = 0
+        self.restarts = 0
+
+    def schedule(self, event: CrashEvent) -> None:
+        """Arm one crash/restart pair on the deployment's engine."""
+        deployment = self.deployment
+        if event.node != "bank":
+            isp_id = self._isp_id(event.node)
+            if not isinstance(deployment.network.isps[isp_id], CompliantISP):
+                raise SimulationError(
+                    f"cannot crash non-compliant {event.node!r} "
+                    "(it keeps no durable state to restore)"
+                )
+        deployment.engine.schedule_at(
+            event.at, lambda: self.crash(event.node), label=f"crash {event.node}"
+        )
+        deployment.engine.schedule_at(
+            event.at + event.down_for,
+            lambda: self.restart(event.node),
+            label=f"restart {event.node}",
+        )
+
+    @staticmethod
+    def _isp_id(node: str) -> int:
+        if not node.startswith("isp"):
+            raise SimulationError(f"unknown node {node!r} (want 'ispN' or 'bank')")
+        return int(node[3:])
+
+    # -- crash ------------------------------------------------------------------
+
+    def crash(self, node: str) -> None:
+        """Fail-stop ``node`` now: journal durable state, drop the rest."""
+        deployment = self.deployment
+        if deployment.net.is_down(node):
+            raise SimulationError(f"{node!r} is already down")
+        if node == "bank":
+            state = persistence.bank_state(deployment.network.bank)
+            deployment.coordinator.on_bank_crash()
+        else:
+            isp_id = self._isp_id(node)
+            isp = deployment.network.isps[isp_id]
+            assert isinstance(isp, CompliantISP)
+            state = persistence.isp_state(isp)
+            deployment.coordinator.on_isp_crash(isp_id)
+        # The journal is serialised text from the crash instant — the only
+        # thing a restarted process gets to read.
+        self._journals[node] = json.dumps(state, sort_keys=True)
+        deployment.net.set_down(node)
+        deployment.endpoints[node].close()
+        self.crashes += 1
+
+    # -- restart ----------------------------------------------------------------
+
+    def restart(self, node: str) -> None:
+        """Bring ``node`` back from its journal and resume its mail queue."""
+        deployment = self.deployment
+        if not deployment.net.is_down(node):
+            raise SimulationError(f"{node!r} is not down")
+        journal = json.loads(self._journals.pop(node))
+        if node == "bank":
+            persistence.load_bank_state(deployment.network.bank, journal)
+        else:
+            isp_id = self._isp_id(node)
+            fresh = CompliantISP(
+                isp_id,
+                deployment.network.users_per_isp,
+                deployment.network.config,
+            )
+            persistence.load_isp_state(fresh, journal)
+            deployment.network.isps[isp_id] = fresh
+        deployment.net.set_up(node)
+        deployment.endpoints[node].reopen()
+        self.restarts += 1
+        deployment.flush_deferred(node)

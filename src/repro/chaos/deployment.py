@@ -1,0 +1,324 @@
+"""A full Zmail deployment wired for chaos.
+
+:class:`ChaosDeployment` assembles the system the way a distributed
+deployment actually runs it:
+
+* a :class:`~repro.chaos.faults.FaultyNetwork` carries every inter-node
+  message (letters and control traffic) with configurable drop /
+  duplicate / reorder / delay faults;
+* one :class:`~repro.sim.reliable.ReliableEndpoint` per ISP and one for
+  the bank restore exactly-once in-order delivery on top of the faults —
+  the paper's §3 channel assumption, earned rather than assumed;
+* the :class:`~repro.core.protocol.ZmailNetwork` core runs in direct
+  mode but hands every outbound letter to this deployment's transport,
+  so all economics flow through the faulty wire;
+* a :class:`~repro.chaos.crash.CrashController` fail-stops nodes mid-run
+  and restarts them from :mod:`repro.core.persistence` journals;
+* a :class:`~repro.chaos.snapshot.RetryingSnapshotCoordinator` keeps
+  §4.4 reconciliation converging despite all of the above;
+* an :class:`~repro.chaos.monitors.InvariantMonitor` checks
+  anti-symmetry, conservation and non-negativity on a periodic timer.
+
+Submissions for a crashed ISP are queued client-side (users retry) and
+flushed when the node returns, so a crash delays mail but never loses a
+submission — the property the differential tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.config import ZmailConfig
+from ..core.protocol import ZmailNetwork
+from ..core.transfer import Letter, SendReceipt
+from ..errors import SimulationError
+from ..sim.clock import DAY
+from ..sim.engine import Engine
+from ..sim.network import LinkSpec
+from ..sim.reliable import ReliableEndpoint
+from ..sim.rng import SeededStreams, derive_seed
+from ..sim.workload import SendRequest
+from .crash import CrashController, CrashEvent
+from .faults import FaultSpec, FaultyNetwork
+from .monitors import InvariantMonitor, accounting_digest
+from .snapshot import (
+    ChaosSnapshotReply,
+    ChaosSnapshotRequest,
+    RetryingSnapshotCoordinator,
+    SnapshotAbort,
+)
+
+__all__ = ["ChaosDeployment"]
+
+
+class ChaosDeployment:
+    """A Zmail system under reliable links over a faulty network.
+
+    Args:
+        n_isps: Number of ISPs (named ``isp0`` … ``ispN-1`` on the wire).
+        users_per_isp: Users per ISP.
+        seed: Root seed; every RNG stream (faults, workloads, links)
+            derives from it, so a run is bit-reproducible from this one
+            number.
+        compliant: Per-ISP compliance flags (default: all compliant).
+        config: Zmail economics parameters.
+        link: Wire characteristics (default 50 ms links, no loss —
+            loss is usually injected via ``faults`` instead).
+        faults: Default fault mix for every link; per-link overrides via
+            ``net.set_faults``.
+        retransmit_interval: Reliable-layer base retransmission timeout.
+        backoff: Reliable-layer exponential backoff multiplier.
+        max_interval: Cap on the backed-off retransmission interval.
+        monitor_interval: Seconds between invariant checks.
+        reconcile_every: Period of §4.4 reconciliation rounds; ``None``
+            disables reconciliation.
+        snapshot_opts: Keyword overrides for the
+            :class:`RetryingSnapshotCoordinator`.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_isps: int,
+        users_per_isp: int,
+        seed: int,
+        compliant: Iterable[bool] | None = None,
+        config: ZmailConfig | None = None,
+        link: LinkSpec | None = None,
+        faults: FaultSpec | None = None,
+        retransmit_interval: float = 0.5,
+        backoff: float = 2.0,
+        max_interval: float = 8.0,
+        monitor_interval: float = 5.0,
+        reconcile_every: float | None = None,
+        snapshot_opts: dict | None = None,
+    ) -> None:
+        self.seed = seed
+        self.engine = Engine()
+        self.net = FaultyNetwork(
+            self.engine,
+            SeededStreams(derive_seed(seed, "chaos-net")),
+            default_link=link or LinkSpec(base_latency=0.05),
+            default_faults=faults,
+        )
+        # The Zmail core runs in direct mode but yields every outbound
+        # letter to our transport, which carries it over reliable links.
+        self.network = ZmailNetwork(
+            n_isps=n_isps,
+            users_per_isp=users_per_isp,
+            compliant=compliant,
+            config=config,
+            seed=seed,
+            transport=self._transport,
+        )
+        self.endpoints: dict[str, ReliableEndpoint] = {}
+        for isp_id in range(n_isps):
+            name = f"isp{isp_id}"
+            self.endpoints[name] = ReliableEndpoint(
+                name,
+                self.net,
+                self.engine,
+                self._isp_payload_handler(isp_id),
+                retransmit_interval=retransmit_interval,
+                max_retries=None,  # peers come back; convergence is the test
+                backoff=backoff,
+                max_interval=max_interval,
+            )
+        self.endpoints["bank"] = ReliableEndpoint(
+            "bank",
+            self.net,
+            self.engine,
+            self._on_bank_payload,
+            retransmit_interval=retransmit_interval,
+            max_retries=None,
+            backoff=backoff,
+            max_interval=max_interval,
+        )
+        self.coordinator = RetryingSnapshotCoordinator(
+            self, **(snapshot_opts or {})
+        )
+        self.crash_controller = CrashController(self)
+        self.monitor = InvariantMonitor(self, interval=monitor_interval)
+        self.reconcile_every = reconcile_every
+        # Paid letters currently in flight per unordered ISP pair: the
+        # anti-symmetry adjustment the monitor applies mid-run.
+        self._inflight_pair: dict[tuple[int, int], int] = {}
+        # Client-side retry queues for submissions to crashed ISPs.
+        self._deferred: dict[str, list[SendRequest]] = {}
+        self._last_restart_time = 0.0
+        self.submits = 0
+        self.deferred_submits = 0
+        self.flushed_submits = 0
+
+    # -- transport (core -> wire) -------------------------------------------------
+
+    def _transport(self, letter: Letter) -> None:
+        if letter.paid:
+            pair = letter.pair
+            self._inflight_pair[pair] = self._inflight_pair.get(pair, 0) + 1
+        self.endpoints[f"isp{letter.src_isp}"].send(f"isp{letter.dst_isp}", letter)
+
+    def _isp_payload_handler(self, isp_id: int):
+        def on_payload(src: str, payload: object) -> None:
+            if isinstance(payload, Letter):
+                if payload.paid:
+                    pair = payload.pair
+                    self._inflight_pair[pair] -= 1
+                self.network.deliver_transported(payload)
+            elif isinstance(payload, ChaosSnapshotRequest):
+                self.coordinator.on_request(isp_id, payload)
+            elif isinstance(payload, SnapshotAbort):
+                self.coordinator.on_abort(isp_id, payload)
+            else:
+                raise SimulationError(
+                    f"isp{isp_id}: unexpected payload {payload!r} from {src}"
+                )
+
+        return on_payload
+
+    def _on_bank_payload(self, src: str, payload: object) -> None:
+        if isinstance(payload, ChaosSnapshotReply):
+            self.coordinator.on_reply(payload)
+        else:
+            raise SimulationError(f"bank: unexpected payload {payload!r} from {src}")
+
+    def send_control(self, src: str, dst: str, payload: object) -> None:
+        """Carry a control message over the reliable links."""
+        self.endpoints[src].send(dst, payload)
+
+    def route_receipts(self, receipts: list[SendReceipt]) -> None:
+        """Route letters produced by a flushed outbox (snapshot resume/abort)."""
+        for receipt in receipts:
+            if receipt.letter is not None:
+                self.network._route_letter(receipt.letter)
+
+    # -- workload ------------------------------------------------------------------
+
+    def submit(self, request: SendRequest) -> None:
+        """One user's send attempt; queued client-side if their ISP is down."""
+        self.submits += 1
+        name = f"isp{request.sender.isp}"
+        if self.net.is_down(name):
+            self.deferred_submits += 1
+            self._deferred.setdefault(name, []).append(request)
+            return
+        self.network.send(request.sender, request.recipient, request.kind)
+
+    def flush_deferred(self, node: str) -> None:
+        """Replay submissions queued while ``node`` was down (client retries)."""
+        queued = self._deferred.pop(node, None)
+        if not queued:
+            return
+        for request in queued:
+            self.flushed_submits += 1
+            self.network.send(request.sender, request.recipient, request.kind)
+
+    def schedule_crash(self, event: CrashEvent) -> None:
+        """Arm a crash/restart pair; drain waits for the restart."""
+        self.crash_controller.schedule(event)
+        restart_at = event.at + event.down_for
+        if restart_at > self._last_restart_time:
+            self._last_restart_time = restart_at
+
+    def _midnight(self) -> None:
+        # Crashed nodes miss midnight: no resets, no bank trades. Their
+        # durable counters restart exactly as journaled.
+        up = [
+            isp_id
+            for isp_id in self.network.compliant_isps()
+            if not self.net.is_down(f"isp{isp_id}")
+        ]
+        for isp_id in up:
+            self.network.isps[isp_id].midnight()
+        if not self.net.is_down("bank"):
+            self.network.rebalance_pools(up)
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(
+        self,
+        requests: Iterable[SendRequest],
+        *,
+        until: float,
+        drain_window: float = 600.0,
+        drain_step: float = 5.0,
+    ) -> bool:
+        """Drive a workload then drain to quiescence.
+
+        The workload phase runs to ``until`` with the monitor, midnight
+        chain and (if configured) periodic reconciliation armed. The
+        drain phase stops *generating* new periodic work and runs the
+        engine in ``drain_step`` slices until :meth:`quiescent` or the
+        ``drain_window`` expires, then performs one final invariant
+        check.
+
+        Returns:
+            Whether the deployment reached quiescence.
+        """
+        self.monitor.start()
+        self.engine.add_stream(requests, self.submit, label="chaos-workload")
+        midnight_handle = self.engine.schedule_every(
+            DAY, self._midnight, label="chaos-midnight"
+        )
+        reconcile_handle = None
+        if self.reconcile_every is not None:
+            reconcile_handle = self.engine.schedule_every(
+                self.reconcile_every,
+                self.coordinator.trigger,
+                label="chaos-reconcile",
+            )
+        self.engine.run(until=until)
+        midnight_handle.cancel()
+        if reconcile_handle is not None:
+            reconcile_handle.cancel()
+        deadline = until + drain_window
+        while self.engine.now < deadline and not self.quiescent():
+            self.engine.run(until=min(self.engine.now + drain_step, deadline))
+        self.monitor.stop()
+        self.monitor.check()
+        return self.quiescent()
+
+    def quiescent(self) -> bool:
+        """Whether every message settled and every crashed node is back."""
+        return (
+            self.engine.now >= self._last_restart_time
+            and not self.net.down_nodes
+            and not any(self._deferred.values())
+            and not self.coordinator.active
+            and self.network.paid_letters_in_flight == 0
+            and all(ep.all_delivered() for ep in self.endpoints.values())
+        )
+
+    # -- introspection ------------------------------------------------------------------
+
+    def inflight_pair(self, a: int, b: int) -> int:
+        """Paid letters currently in flight between ISPs ``a`` and ``b``."""
+        key = (a, b) if a <= b else (b, a)
+        return self._inflight_pair.get(key, 0)
+
+    def digest(self) -> str:
+        """The deployment's accounting digest (see :mod:`.monitors`)."""
+        return accounting_digest(self.network)
+
+    def stats(self) -> dict:
+        """Aggregate wire/recovery counters for campaign reports."""
+        endpoints = self.endpoints.values()
+        return {
+            "submits": self.submits,
+            "deferred_submits": self.deferred_submits,
+            "flushed_submits": self.flushed_submits,
+            "frames_sent": sum(ep.frames_sent for ep in endpoints),
+            "retransmissions": sum(ep.retransmissions for ep in endpoints),
+            "duplicates_dropped": sum(ep.duplicates_dropped for ep in endpoints),
+            "faults_dropped": self.net.faults_dropped,
+            "faults_duplicated": self.net.faults_duplicated,
+            "faults_reordered": self.net.faults_reordered,
+            "dropped_down": self.net.dropped_down,
+            "crashes": self.crash_controller.crashes,
+            "restarts": self.crash_controller.restarts,
+            "snapshot_rounds": len(self.coordinator.rounds),
+            "snapshot_committed": self.coordinator.rounds_committed,
+            "snapshot_failed": self.coordinator.rounds_failed,
+            "monitor_checks": self.monitor.checks_run,
+            "violations": self.monitor.violations_seen,
+        }

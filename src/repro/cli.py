@@ -11,6 +11,7 @@ the system work without writing code:
 * ``zombie``      — the §5 zombie-containment scenario.
 * ``scenario``    — kitchen-sink mixed simulation via the Scenario API.
 * ``audit``       — the solvency audit catching an e-penny-minting ISP.
+* ``chaos``       — fault-injection campaign with invariant monitors.
 """
 
 from __future__ import annotations
@@ -77,6 +78,30 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="solvency audit demo: catch an e-penny-minting ISP"
     )
     audit.add_argument("--mint", type=int, default=5000)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection campaign (drop/dup/reorder/crash) "
+        "with always-on invariant monitors",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed (default: the spec's seed); the whole run is "
+        "bit-reproducible from it",
+    )
+    chaos.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="campaign spec file (JSON, or YAML if available); "
+        "default: the built-in campaign",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON instead of the table",
+    )
+    chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to this file",
+    )
     return parser
 
 
@@ -271,6 +296,24 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if caught else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import DEFAULT_SPEC, format_report, load_spec, run_campaign
+
+    spec = load_spec(args.spec) if args.spec else DEFAULT_SPEC
+    report = run_campaign(spec, seed=args.seed)
+    payload = json.dumps(report, sort_keys=True, indent=2)
+    if args.as_json:
+        print(payload)
+    else:
+        print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -280,6 +323,7 @@ _COMMANDS = {
     "zombie": cmd_zombie,
     "scenario": cmd_scenario,
     "audit": cmd_audit,
+    "chaos": cmd_chaos,
 }
 
 

@@ -106,6 +106,39 @@ class Bank:
         """Sum of all ISP accounts (for conservation audits)."""
         return sum(self._accounts.values())
 
+    # -- durable state (checkpoint / crash recovery) ----------------------------------
+
+    def state_dict(self) -> dict:
+        """The bank's durable state as a JSON-compatible dict.
+
+        Covers accounts, the compliance directory, the reconciliation
+        sequence number and the replay-protection nonce sets — everything
+        a restarted bank needs to keep the money exact and keep rejecting
+        replays. Volatile state (reports history, request counters) is
+        deliberately excluded: a crash loses it.
+        """
+        return {
+            "accounts": {str(k): v for k, v in sorted(self._accounts.items())},
+            "compliant": {str(k): v for k, v in sorted(self._compliant.items())},
+            "seq": self._seq,
+            "nonces": {
+                str(k): sorted(reg._seen)
+                for k, reg in sorted(self._nonces.items())
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore durable state written by :meth:`state_dict`, in place."""
+        self._accounts = {int(k): int(v) for k, v in state["accounts"].items()}
+        self._compliant = {int(k): bool(v) for k, v in state["compliant"].items()}
+        self._seq = int(state["seq"])
+        self._nonces = {}
+        for key, seen in state["nonces"].items():
+            registry = NonceRegistry()
+            for nonce in seen:
+                registry.check_and_record(int(nonce))
+            self._nonces[int(key)] = registry
+
     # -- §4.3 buy / sell -------------------------------------------------------------
 
     def _check_member(self, isp_id: int) -> None:

@@ -280,6 +280,27 @@ class CompliantISP:
         self._snapshot.replied = True
         return reply
 
+    def snapshot_peek(self) -> dict[int, int]:
+        """Read the credit array mid-snapshot *without* committing the reset.
+
+        The chaos harness's retrying coordinator verifies anti-symmetry on
+        peeks first and only commits (:meth:`snapshot_reply`) once the cut
+        is known consistent — an inconsistent attempt is aborted and
+        retried with a longer quiesce window, leaving the arrays intact.
+        """
+        if self._snapshot is None:
+            raise SnapshotInProgress(f"isp {self.isp_id}: no snapshot open")
+        return dict(self.credit)
+
+    def abort_snapshot(self) -> list[SendReceipt]:
+        """Abandon an open snapshot without replying (crash/retry path).
+
+        Equivalent to :meth:`resume_sending`: the pause ends, buffered
+        sends flush, and the credit arrays are untouched — nothing was
+        committed, so nothing needs rolling back.
+        """
+        return self.resume_sending()
+
     def resume_sending(self) -> list[SendReceipt]:
         """End the snapshot pause and flush the buffered outbox.
 

@@ -11,21 +11,76 @@ conservation audits across a save/load cycle.
 In-flight engine-mode letters are not checkpointed (a real system drains
 or journals its queues before snapshotting state); ``checkpoint`` refuses
 to run while paid letters are in flight so no money can be lost.
+
+Two granularities:
+
+* :func:`checkpoint` / :func:`restore` — the whole deployment, for cold
+  save/load.
+* :func:`isp_state` / :func:`load_isp_state` and :func:`bank_state` /
+  :func:`load_bank_state` — one node's *durable* state, the write-ahead
+  journal the chaos harness's crash/restart model is built on: a crash
+  loses everything volatile (open snapshot pauses, buffered outboxes,
+  in-flight wire frames) and a restart rebuilds the node from exactly
+  this state.
+
+All restore paths reject malformed input with
+:class:`~repro.errors.SimulationError` — a truncated or corrupted blob
+must fail loudly and descriptively, never with a raw ``KeyError``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import Any
 
 from ..errors import SimulationError
+from .bank import Bank
 from .config import NonCompliantMailPolicy, ZmailConfig
-from .isp import CompliantISP
+from .isp import CompliantISP, DeliveryStats
 from .protocol import ZmailNetwork
 
-__all__ = ["checkpoint", "restore", "dumps", "loads", "FORMAT_VERSION"]
+__all__ = [
+    "checkpoint",
+    "restore",
+    "dumps",
+    "loads",
+    "isp_state",
+    "load_isp_state",
+    "bank_state",
+    "load_bank_state",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
+
+
+def _user_state(user) -> dict[str, Any]:
+    return {
+        "account": user.account,
+        "balance": user.balance,
+        "daily_limit": user.daily_limit,
+        "sent_today": user.sent_today,
+        "lifetime_sent": user.lifetime_sent,
+        "lifetime_received": user.lifetime_received,
+        "lifetime_received_paid": user.lifetime_received_paid,
+        "limit_warnings": user.limit_warnings,
+        "inbox": user.inbox,
+        "junk_folder": user.junk_folder,
+    }
+
+
+def _load_user_state(user, state: dict[str, Any]) -> None:
+    user.account = state["account"]
+    user.balance = state["balance"]
+    user.daily_limit = state["daily_limit"]
+    user.sent_today = state["sent_today"]
+    user.lifetime_sent = state["lifetime_sent"]
+    user.lifetime_received = state["lifetime_received"]
+    user.lifetime_received_paid = state["lifetime_received_paid"]
+    user.limit_warnings = state["limit_warnings"]
+    user.inbox = state["inbox"]
+    user.junk_folder = state["junk_folder"]
 
 
 def checkpoint(network: ZmailNetwork) -> dict[str, Any]:
@@ -72,18 +127,7 @@ def checkpoint(network: ZmailNetwork) -> dict[str, Any]:
     for isp_id, isp in sorted(network.compliant_isps().items()):
         users = {}
         for user in isp.ledger.users():
-            users[str(user.user_id)] = {
-                "account": user.account,
-                "balance": user.balance,
-                "daily_limit": user.daily_limit,
-                "sent_today": user.sent_today,
-                "lifetime_sent": user.lifetime_sent,
-                "lifetime_received": user.lifetime_received,
-                "lifetime_received_paid": user.lifetime_received_paid,
-                "limit_warnings": user.limit_warnings,
-                "inbox": user.inbox,
-                "junk_folder": user.junk_folder,
-            }
+            users[str(user.user_id)] = _user_state(user)
         state["isps"][str(isp_id)] = {
             "pool": isp.ledger.pool,
             "cash": isp.ledger.cash,
@@ -99,10 +143,25 @@ def restore(state: dict[str, Any], *, seed: int = 0) -> ZmailNetwork:
     Raises:
         SimulationError: on version mismatch or malformed state.
     """
+    if not isinstance(state, dict):
+        raise SimulationError(
+            f"checkpoint must be a dict, got {type(state).__name__}"
+        )
     if state.get("format_version") != FORMAT_VERSION:
         raise SimulationError(
             f"unsupported checkpoint version {state.get('format_version')!r}"
         )
+    try:
+        return _restore_checked(state, seed=seed)
+    except SimulationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(
+            f"malformed checkpoint: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _restore_checked(state: dict[str, Any], *, seed: int) -> ZmailNetwork:
     config_state = state["config"]
     config = ZmailConfig(
         default_daily_limit=config_state["default_daily_limit"],
@@ -131,24 +190,14 @@ def restore(state: dict[str, Any], *, seed: int = 0) -> ZmailNetwork:
     )
     network._external_deposit = state["external_deposit"]
 
-    for isp_key, isp_state in state["isps"].items():
+    for isp_key, isp_state_blob in state["isps"].items():
         isp = network.isps[int(isp_key)]
         assert isinstance(isp, CompliantISP)
-        isp.ledger.pool = isp_state["pool"]
-        isp.ledger.cash = isp_state["cash"]
-        isp.credit = {int(k): v for k, v in isp_state["credit"].items()}
-        for user_key, user_state in isp_state["users"].items():
-            user = isp.ledger.user(int(user_key))
-            user.account = user_state["account"]
-            user.balance = user_state["balance"]
-            user.daily_limit = user_state["daily_limit"]
-            user.sent_today = user_state["sent_today"]
-            user.lifetime_sent = user_state["lifetime_sent"]
-            user.lifetime_received = user_state["lifetime_received"]
-            user.lifetime_received_paid = user_state["lifetime_received_paid"]
-            user.limit_warnings = user_state["limit_warnings"]
-            user.inbox = user_state["inbox"]
-            user.junk_folder = user_state["junk_folder"]
+        isp.ledger.pool = isp_state_blob["pool"]
+        isp.ledger.cash = isp_state_blob["cash"]
+        isp.credit = {int(k): v for k, v in isp_state_blob["credit"].items()}
+        for user_key, user_state in isp_state_blob["users"].items():
+            _load_user_state(isp.ledger.user(int(user_key)), user_state)
 
     for isp_key, balance in state["bank"]["accounts"].items():
         isp_id = int(isp_key)
@@ -167,11 +216,98 @@ def restore(state: dict[str, Any], *, seed: int = 0) -> ZmailNetwork:
     return network
 
 
+# -- per-node journals (crash/restart) -----------------------------------------------
+
+
+def isp_state(isp: CompliantISP) -> dict[str, Any]:
+    """One compliant ISP's durable state (its write-ahead journal).
+
+    Covers the ledger (pool, cash, every user purse), the inter-ISP
+    credit array, the installed compliance directory, delivery stats and
+    the zombie-detection warning log. Volatile state — an open snapshot
+    pause, the buffered outbox — is deliberately absent: a crash loses it.
+    """
+    return {
+        "isp_id": isp.isp_id,
+        "pool": isp.ledger.pool,
+        "cash": isp.ledger.cash,
+        "credit": {str(k): v for k, v in sorted(isp.credit.items())},
+        "compliance_view": {
+            str(k): v for k, v in sorted(isp.compliance_view.items())
+        },
+        "users": {
+            str(user.user_id): _user_state(user) for user in isp.ledger.users()
+        },
+        "stats": dataclasses.asdict(isp.stats),
+        "limit_warning_log": [list(entry) for entry in isp.limit_warning_log],
+    }
+
+
+def load_isp_state(isp: CompliantISP, state: dict[str, Any]) -> None:
+    """Restore a journal written by :func:`isp_state` onto ``isp`` in place.
+
+    The target is typically a freshly constructed :class:`CompliantISP`
+    (same id / user count / config) standing in for the restarted
+    process; its volatile state starts empty, exactly as after a crash.
+
+    Raises:
+        SimulationError: if the journal is malformed.
+    """
+    try:
+        isp.ledger.pool = state["pool"]
+        isp.ledger.cash = state["cash"]
+        isp.credit = {int(k): v for k, v in state["credit"].items()}
+        isp.compliance_view = {
+            int(k): bool(v) for k, v in state["compliance_view"].items()
+        }
+        for user_key, user_state in state["users"].items():
+            _load_user_state(isp.ledger.user(int(user_key)), user_state)
+        isp.stats = DeliveryStats(**state["stats"])
+        isp.limit_warning_log = [
+            (int(user_id), int(count))
+            for user_id, count in state["limit_warning_log"]
+        ]
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(
+            f"malformed ISP journal: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def bank_state(bank: Bank) -> dict[str, Any]:
+    """The bank's durable state (see :meth:`~repro.core.bank.Bank.state_dict`)."""
+    return bank.state_dict()
+
+
+def load_bank_state(bank: Bank, state: dict[str, Any]) -> None:
+    """Restore a journal written by :func:`bank_state` onto ``bank`` in place.
+
+    Raises:
+        SimulationError: if the journal is malformed.
+    """
+    try:
+        bank.load_state(state)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(
+            f"malformed bank journal: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def dumps(network: ZmailNetwork, *, indent: int | None = None) -> str:
     """Checkpoint straight to a JSON string."""
     return json.dumps(checkpoint(network), indent=indent, sort_keys=True)
 
 
 def loads(payload: str, *, seed: int = 0) -> ZmailNetwork:
-    """Restore straight from a JSON string."""
-    return restore(json.loads(payload), seed=seed)
+    """Restore straight from a JSON string.
+
+    Raises:
+        SimulationError: if the payload is not valid JSON (truncated or
+            corrupted blob) or the decoded state is malformed.
+    """
+    try:
+        state = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(
+            f"corrupted checkpoint JSON: {exc}"
+        ) from exc
+    return restore(state, seed=seed)

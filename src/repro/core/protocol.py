@@ -22,7 +22,7 @@ compliance directory.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..crypto import NonceSource
 from ..errors import InsufficientBalance, SimulationError
@@ -82,6 +82,12 @@ class ZmailNetwork:
         engine: Attach to this discrete-event engine (engine mode); omit
             for synchronous direct mode.
         link: Latency/loss characteristics for engine mode.
+        transport: Custom letter carrier. When set, letters that leave an
+            ISP are handed to this callable instead of being delivered
+            directly or via the built-in latency network; the carrier must
+            eventually call :meth:`deliver_transported` for each letter
+            (exactly once). This is how the chaos harness interposes
+            reliable links and fault injection between ISPs.
 
     Example (direct mode)::
 
@@ -100,6 +106,7 @@ class ZmailNetwork:
         seed: int = 0,
         engine: Engine | None = None,
         link: LinkSpec | None = None,
+        transport: Callable[[Letter], None] | None = None,
     ) -> None:
         if n_isps <= 0 or users_per_isp <= 0:
             raise ValueError("need at least one ISP and one user per ISP")
@@ -162,6 +169,7 @@ class ZmailNetwork:
         self._isp_names = [f"isp{isp_id}" for isp_id in range(n_isps)]
 
         self.engine = engine
+        self.transport = transport
         self.net: Network | None = None
         self._active_coordinator: object | None = None
         if engine is not None:
@@ -287,7 +295,9 @@ class ZmailNetwork:
     def _route_letter(self, letter: Letter) -> None:
         if letter.paid:
             self.paid_letters_in_flight += 1
-        if self.net is None:
+        if self.transport is not None:
+            self.transport(letter)
+        elif self.net is None:
             self._deliver_letter(letter)
         else:
             names = self._isp_names
@@ -307,6 +317,15 @@ class ZmailNetwork:
         else:
             self._inc_dropped()
         self._inc_deliver_kind[letter.kind]()
+
+    def deliver_transported(self, letter: Letter) -> None:
+        """Complete delivery of a letter carried by a custom transport.
+
+        The transport handed out by :attr:`transport` must call this
+        exactly once per letter it accepted — it settles the in-flight
+        accounting and hands the letter to the destination ISP.
+        """
+        self._deliver_letter(letter)
 
     # -- engine-mode message pump -----------------------------------------------------------
 
@@ -418,9 +437,22 @@ class ZmailNetwork:
         """Direct-mode driver: trigger midnight work when a day boundary passes."""
         self.advance_day_to(int(t // DAY))
 
-    def rebalance_pools(self) -> None:
-        """§4.3: every compliant ISP buys/sells pool e-pennies at the bank."""
-        for isp_id, isp in sorted(self.compliant_isps().items()):
+    def rebalance_pools(self, isp_ids: Iterable[int] | None = None) -> None:
+        """§4.3: compliant ISPs buy/sell pool e-pennies at the bank.
+
+        Args:
+            isp_ids: Restrict the round to this subset (the chaos harness
+                skips crashed ISPs — a down node cannot trade with the
+                bank). Default: every compliant ISP.
+        """
+        compliant = self.compliant_isps()
+        if isp_ids is not None:
+            compliant = {
+                isp_id: compliant[isp_id]
+                for isp_id in isp_ids
+                if isp_id in compliant
+            }
+        for isp_id, isp in sorted(compliant.items()):
             deficit = isp.pool_deficit()
             if deficit > 0:
                 nonce = self._nonce_sources[isp_id].next()

@@ -83,6 +83,17 @@ class Letter:
         """The destination ISP's index."""
         return self.recipient.isp
 
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The unordered ``(min, max)`` ISP pair this letter travels between.
+
+        Per-pair in-flight accounting (the chaos invariant monitors) needs
+        a direction-free key: a paid letter in flight on either direction
+        of the i↔j link contributes +1 to ``credit_i[j] + credit_j[i]``.
+        """
+        a, b = self.sender.isp, self.recipient.isp
+        return (a, b) if a <= b else (b, a)
+
 
 @dataclass(frozen=True, slots=True)
 class SendReceipt:

@@ -126,6 +126,22 @@ class Network:
 
     # -- transmission ------------------------------------------------------------
 
+    def _resolve(self, key: tuple[str, str]) -> tuple[LinkSpec, object, str, Endpoint]:
+        """Build (and cache) the per-link hot-path tuple for ``key``."""
+        src, dst = key
+        if src not in self._endpoints:
+            raise SimulationError(f"unknown source endpoint {src!r}")
+        if dst not in self._endpoints:
+            raise SimulationError(f"unknown destination endpoint {dst!r}")
+        cached = (
+            self.link(src, dst),
+            self._streams.get(f"net:{src}->{dst}"),
+            f"deliver {src}->{dst}",
+            self._endpoints[dst],
+        )
+        self._link_cache[key] = cached
+        return cached
+
     def send(self, src: str, dst: str, payload: object, *, size: int = 0) -> None:
         """Send ``payload`` from ``src`` to ``dst``.
 
@@ -139,17 +155,7 @@ class Network:
         key = (src, dst)
         cached = self._link_cache.get(key)
         if cached is None:
-            if src not in self._endpoints:
-                raise SimulationError(f"unknown source endpoint {src!r}")
-            if dst not in self._endpoints:
-                raise SimulationError(f"unknown destination endpoint {dst!r}")
-            cached = (
-                self.link(src, dst),
-                self._streams.get(f"net:{src}->{dst}"),
-                f"deliver {src}->{dst}",
-                self._endpoints[dst],
-            )
-            self._link_cache[key] = cached
+            cached = self._resolve(key)
         spec, stream, label, endpoint = cached
         self.messages_sent += 1
         self.bytes_sent += size
@@ -171,17 +177,45 @@ class Network:
             self.messages_delivered += 1
             endpoint.on_message(src, payload)
             return
+        self._schedule_delivery(key, endpoint, src, payload, delay, label)
+
+    def _schedule_delivery(
+        self,
+        key: tuple[str, str],
+        endpoint: Endpoint,
+        src: str,
+        payload: object,
+        delay: float,
+        label: str,
+        *,
+        fifo: bool = True,
+    ) -> None:
+        """Schedule a heap delivery on the link ``key`` after ``delay``.
+
+        With ``fifo=True`` (the normal path) the delivery is clamped to
+        never overtake an earlier message on the same link. ``fifo=False``
+        is the escape hatch for fault injection: a reordered message is
+        scheduled at its raw time and may overtake in-flight traffic,
+        without moving the link's FIFO floor for later messages.
+        """
         deliver_at = self.engine.now + delay
-        # FIFO: never deliver before an earlier message on the same link.
-        earliest = self._last_delivery.get(key, 0.0)
-        if deliver_at < earliest:
-            deliver_at = earliest
-        self._last_delivery[key] = deliver_at
+        if fifo:
+            # FIFO: never deliver before an earlier message on the same link.
+            earliest = self._last_delivery.get(key, 0.0)
+            if deliver_at < earliest:
+                deliver_at = earliest
+            self._last_delivery[key] = deliver_at
         self._pending[key] = self._pending.get(key, 0) + 1
 
         def deliver() -> None:
             self._pending[key] -= 1
-            self.messages_delivered += 1
-            endpoint.on_message(src, payload)
+            self._deliver(key, endpoint, src, payload)
 
         self.engine.schedule_at(deliver_at, deliver, label=label)
+
+    def _deliver(
+        self, key: tuple[str, str], endpoint: Endpoint, src: str, payload: object
+    ) -> None:
+        """Hand a scheduled message to its endpoint (fault-injection hook)."""
+        self.messages_delivered += 1
+        endpoint.on_message(src, payload)

@@ -12,7 +12,11 @@ with arbitrary loss (< 1.0).
 
 Failure-injection tests use it both ways: demonstrating that loss breaks
 reconciliation on raw links, and that :class:`ReliableLink` restores the
-paper's assumption.
+paper's assumption. The chaos harness (:mod:`repro.chaos`) additionally
+crashes endpoints mid-run: :meth:`ReliableEndpoint.close` cancels the
+outstanding retransmission timers (so none fires into a dead endpoint)
+and :meth:`ReliableEndpoint.reopen` re-arms them from the durable
+sequence state, modelling a mail queue that survives a restart.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from typing import Any, Callable
 
 from ..errors import SimulationError
 from .engine import Engine
+from .events import EventHandle
 from .network import Network
 
 __all__ = ["ReliablePayload", "ReliableAck", "ReliableEndpoint", "ReliableLink"]
@@ -44,11 +49,18 @@ class ReliableAck:
 
 @dataclass
 class _OutboundState:
-    """Sender-side per-destination state."""
+    """Sender-side per-destination state.
+
+    ``timer`` holds the outstanding retransmission timer's handle so a
+    teardown (:meth:`ReliableEndpoint.close`) can cancel it; ``retries``
+    counts consecutive retransmission rounds without ack progress, which
+    also drives the exponential backoff schedule.
+    """
 
     next_seq: int = 0
     unacked: dict[int, Any] = field(default_factory=dict)
-    retransmit_armed: bool = False
+    retries: int = 0
+    timer: EventHandle | None = None
 
 
 @dataclass
@@ -65,6 +77,16 @@ class ReliableEndpoint:
     Wire one of these per node; it registers itself with the network under
     ``name`` and delivers application payloads to ``on_payload(src, data)``
     exactly once, in per-link order, despite loss and duplication below.
+
+    Args:
+        retransmit_interval: Base retransmission timeout in seconds.
+        max_retries: Consecutive no-progress retransmission rounds before
+            the endpoint gives up with :class:`SimulationError`; ``None``
+            retries forever (chaos campaigns, where the peer *will* come
+            back and convergence is the property under test).
+        backoff: Multiplier applied to the interval per consecutive
+            no-progress round (1.0 = fixed interval, the historic default).
+        max_interval: Cap on the backed-off interval, if any.
     """
 
     def __init__(
@@ -75,27 +97,39 @@ class ReliableEndpoint:
         on_payload: Callable[[str, Any], None],
         *,
         retransmit_interval: float = 1.0,
-        max_retries: int = 100,
+        max_retries: int | None = 100,
+        backoff: float = 1.0,
+        max_interval: float | None = None,
     ) -> None:
         if retransmit_interval <= 0:
             raise SimulationError("retransmit_interval must be positive")
+        if backoff < 1.0:
+            raise SimulationError("backoff must be >= 1.0")
+        if max_interval is not None and max_interval < retransmit_interval:
+            raise SimulationError("max_interval must be >= retransmit_interval")
         self.name = name
         self.network = network
         self.engine = engine
         self.on_payload = on_payload
         self.retransmit_interval = retransmit_interval
         self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_interval = max_interval
+        self.closed = False
         self._outbound: dict[str, _OutboundState] = {}
         self._inbound: dict[str, _InboundState] = {}
         self.frames_sent = 0
         self.retransmissions = 0
         self.duplicates_dropped = 0
+        self.frames_dropped_closed = 0
         network.register(name, self)
 
     # -- sending -------------------------------------------------------------------
 
     def send(self, dst: str, payload: Any) -> None:
         """Queue ``payload`` for reliable delivery to endpoint ``dst``."""
+        if self.closed:
+            raise SimulationError(f"{self.name}: send on a closed endpoint")
         state = self._outbound.setdefault(dst, _OutboundState())
         seq = state.next_seq
         state.next_seq += 1
@@ -107,33 +141,71 @@ class ReliableEndpoint:
         self.frames_sent += 1
         self.network.send(self.name, dst, ReliablePayload(seq, payload))
 
-    def _arm_retransmit(self, dst: str, retries: int = 0) -> None:
+    def _retransmit_delay(self, state: _OutboundState) -> float:
+        delay = self.retransmit_interval * (self.backoff ** state.retries)
+        if self.max_interval is not None and delay > self.max_interval:
+            delay = self.max_interval
+        return delay
+
+    def _arm_retransmit(self, dst: str) -> None:
         state = self._outbound[dst]
-        if state.retransmit_armed:
+        if state.timer is not None:
             return
-        state.retransmit_armed = True
 
         def timer() -> None:
-            state.retransmit_armed = False
-            if not state.unacked:
+            state.timer = None
+            if self.closed or not state.unacked:
                 return
-            if retries >= self.max_retries:
+            if self.max_retries is not None and state.retries >= self.max_retries:
                 raise SimulationError(
-                    f"{self.name}->{dst}: gave up after {retries} retries"
+                    f"{self.name}->{dst}: gave up after {state.retries} retries"
                 )
+            state.retries += 1
             for seq in sorted(state.unacked):
                 self.retransmissions += 1
                 self._transmit(dst, seq, state.unacked[seq])
-            self._arm_retransmit(dst, retries + 1)
+            self._arm_retransmit(dst)
 
-        self.engine.schedule_after(
-            self.retransmit_interval, timer, label=f"rexmit {self.name}->{dst}"
+        state.timer = self.engine.schedule_after(
+            self._retransmit_delay(state), timer, label=f"rexmit {self.name}->{dst}"
         )
+
+    # -- lifecycle (crash/restart) -----------------------------------------------------
+
+    def close(self) -> None:
+        """Tear the endpoint down: cancel every outstanding retransmit timer.
+
+        Without this, a torn-down endpoint's timers keep firing into the
+        dead object — retransmitting frames from a process that no longer
+        exists and eventually crashing the whole run via ``gave up``.
+        Sequence state is retained (it models the durable mail-queue
+        journal); :meth:`reopen` resumes from it. Idempotent.
+        """
+        self.closed = True
+        for state in self._outbound.values():
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+
+    def reopen(self) -> None:
+        """Restart after :meth:`close`: re-arm retransmission of unacked frames."""
+        if not self.closed:
+            return
+        self.closed = False
+        for dst, state in self._outbound.items():
+            if state.unacked:
+                state.retries = 0
+                self._arm_retransmit(dst)
 
     # -- receiving -------------------------------------------------------------------
 
     def on_message(self, src: str, message: object) -> None:
         """Network-facing entry point (frames and acks)."""
+        if self.closed:
+            # A crashed process receives nothing; the wire frame is lost
+            # (the sender's retransmission timer recovers it later).
+            self.frames_dropped_closed += 1
+            return
         if isinstance(message, ReliableAck):
             self._handle_ack(src, message)
         elif isinstance(message, ReliablePayload):
@@ -145,9 +217,14 @@ class ReliableEndpoint:
 
     def _handle_ack(self, src: str, ack: ReliableAck) -> None:
         state = self._outbound.setdefault(src, _OutboundState())
+        progressed = False
         for seq in list(state.unacked):
             if seq < ack.next_expected:
                 del state.unacked[seq]
+                progressed = True
+        if progressed:
+            # The link is alive: reset the give-up counter and backoff.
+            state.retries = 0
 
     def _handle_frame(self, src: str, frame: ReliablePayload) -> None:
         state = self._inbound.setdefault(src, _InboundState())
@@ -160,6 +237,8 @@ class ReliableEndpoint:
             while state.next_expected in state.buffer:
                 self.on_payload(src, state.buffer.pop(state.next_expected))
                 state.next_expected += 1
+        elif frame.seq in state.buffer:
+            self.duplicates_dropped += 1
         else:
             state.buffer[frame.seq] = frame.payload
         # Cumulative ack (also re-acks duplicates so the sender converges).
@@ -213,3 +292,8 @@ class ReliableLink:
             name_b, network, engine, on_payload,
             retransmit_interval=retransmit_interval,
         )
+
+    def close(self) -> None:
+        """Tear down both endpoints, cancelling their retransmit timers."""
+        self.a.close()
+        self.b.close()

@@ -106,3 +106,138 @@ class TestGuards:
         state["format_version"] = FORMAT_VERSION + 1
         with pytest.raises(SimulationError, match="version"):
             restore(state)
+
+
+class TestMalformedState:
+    """A truncated or corrupted blob must fail loudly and descriptively."""
+
+    def test_truncated_json_raises_simulation_error(self):
+        net = busy_network(messages=10)
+        payload = dumps(net)
+        with pytest.raises(SimulationError, match="corrupted checkpoint JSON"):
+            loads(payload[: len(payload) // 2])
+
+    def test_garbage_text_raises_simulation_error(self):
+        with pytest.raises(SimulationError, match="corrupted checkpoint JSON"):
+            loads("{not json at all")
+
+    def test_missing_key_raises_simulation_error_not_keyerror(self):
+        net = busy_network(messages=10)
+        state = checkpoint(net)
+        del state["isps"]
+        with pytest.raises(SimulationError, match="malformed checkpoint"):
+            restore(state)
+
+    def test_missing_config_field_raises_simulation_error(self):
+        net = busy_network(messages=10)
+        state = checkpoint(net)
+        del state["config"]["minavail"]
+        with pytest.raises(SimulationError, match="malformed checkpoint"):
+            restore(state)
+
+    def test_wrong_type_raises_simulation_error(self):
+        net = busy_network(messages=10)
+        state = checkpoint(net)
+        state["isps"] = 17
+        with pytest.raises(SimulationError, match="malformed checkpoint"):
+            restore(state)
+
+    def test_non_dict_state_raises_simulation_error(self):
+        with pytest.raises(SimulationError, match="must be a dict"):
+            restore(["not", "a", "dict"])
+
+    def test_version_error_stays_specific(self):
+        # The version check must not be swallowed into "malformed".
+        net = busy_network(messages=5)
+        state = checkpoint(net)
+        state["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(SimulationError, match="version"):
+            restore(state)
+
+
+class TestRestoreResumeEquivalence:
+    """Restoring a checkpoint then resuming equals never having stopped."""
+
+    def test_same_digest_after_identical_continuation(self):
+        from repro.chaos import accounting_digest
+
+        def continuation(net, seed=77):
+            rng = random.Random(seed)
+            for _ in range(300):
+                net.send(
+                    Address(rng.randrange(3), rng.randrange(6)),
+                    Address(rng.randrange(3), rng.randrange(6)),
+                )
+
+        straight = busy_network(seed=5)
+        snapshotted = restore(checkpoint(busy_network(seed=5)))
+        continuation(straight)
+        continuation(snapshotted)
+        assert accounting_digest(straight) == accounting_digest(snapshotted)
+
+
+class TestPerNodeJournals:
+    """isp_state/bank_state: the crash/restart write-ahead journals."""
+
+    def test_isp_journal_round_trip(self):
+        import json
+
+        from repro.core.isp import CompliantISP
+        from repro.core.persistence import isp_state, load_isp_state
+
+        net = busy_network(seed=9)
+        original = net.isps[1]
+        journal = json.loads(json.dumps(isp_state(original), sort_keys=True))
+        fresh = CompliantISP(1, net.users_per_isp, net.config)
+        load_isp_state(fresh, journal)
+        assert fresh.credit == original.credit
+        assert fresh.ledger.pool == original.ledger.pool
+        assert fresh.ledger.cash == original.ledger.cash
+        assert fresh.stats == original.stats
+        assert fresh.limit_warning_log == original.limit_warning_log
+        for user in original.ledger.users():
+            twin = fresh.ledger.user(user.user_id)
+            assert twin.balance == user.balance
+            assert twin.account == user.account
+            assert twin.sent_today == user.sent_today
+
+    def test_isp_journal_malformed_raises_simulation_error(self):
+        from repro.core.isp import CompliantISP
+        from repro.core.persistence import isp_state, load_isp_state
+
+        net = busy_network(messages=10)
+        journal = isp_state(net.isps[0])
+        del journal["credit"]
+        fresh = CompliantISP(0, net.users_per_isp, net.config)
+        with pytest.raises(SimulationError, match="malformed ISP journal"):
+            load_isp_state(fresh, journal)
+
+    def test_bank_journal_round_trip_keeps_replay_protection(self):
+        import json
+
+        from repro.core.persistence import bank_state, load_bank_state
+        from repro.errors import ReplayDetected
+
+        net = busy_network(messages=10)
+        net.bank.buy_epennies(0, value=10, nonce=12345)
+        net.reconcile("direct")
+        journal = json.loads(json.dumps(bank_state(net.bank), sort_keys=True))
+        accounts_before = {i: net.bank.account_balance(i) for i in (0, 1, 2)}
+        seq_before = net.bank.next_seq
+
+        load_bank_state(net.bank, journal)
+        assert net.bank.next_seq == seq_before
+        for isp_id, balance in accounts_before.items():
+            assert net.bank.account_balance(isp_id) == balance
+        # The nonce sets survived: a replayed purchase is still rejected.
+        with pytest.raises(ReplayDetected):
+            net.bank.buy_epennies(0, value=10, nonce=12345)
+
+    def test_bank_journal_malformed_raises_simulation_error(self):
+        from repro.core.persistence import bank_state, load_bank_state
+
+        net = busy_network(messages=5)
+        journal = bank_state(net.bank)
+        del journal["nonces"]
+        with pytest.raises(SimulationError, match="malformed bank journal"):
+            load_bank_state(net.bank, journal)

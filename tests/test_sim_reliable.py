@@ -157,3 +157,120 @@ class TestZmailNeedsReliability:
         engine.run(until=10_000)
         assert all(e.all_delivered() for e in endpoints.values())
         assert net.reconcile("direct").consistent
+
+
+class TestLifecycle:
+    """Crash/restart semantics: close() must cancel retransmit timers."""
+
+    def test_close_cancels_retransmit_timers(self):
+        engine, _, a, b, _ = make_pair(loss=1.0, seed=1)
+        for i in range(5):
+            a.send("b", i)
+        assert engine.pending > 0
+        a.close()
+        # The only pending events were a's retransmit timers (total loss
+        # means no deliveries are in flight); all must be cancelled.
+        assert all(
+            not label.startswith("rexmit") for label in engine.pending_labels()
+        )
+
+    def test_no_timer_fires_into_closed_endpoint(self):
+        engine, _, a, b, received = make_pair(loss=1.0, seed=2)
+        a.send("b", 0)
+        frames_before = a.frames_sent
+        a.close()
+        engine.run(until=1_000)
+        # A dead process retransmits nothing.
+        assert a.frames_sent == frames_before
+        assert received == []
+
+    def test_send_on_closed_endpoint_raises(self):
+        engine, _, a, b, _ = make_pair()
+        a.close()
+        with pytest.raises(SimulationError, match="closed"):
+            a.send("b", 0)
+
+    def test_closed_endpoint_drops_incoming_frames(self):
+        engine, _, a, b, received = make_pair()
+        b.close()
+        a.send("b", "lost-on-arrival")
+        engine.run(until=2)
+        assert received == []
+        assert b.frames_dropped_closed > 0
+        # The sender keeps the frame queued (no ack came back).
+        assert not a.all_delivered()
+
+    def test_reopen_resumes_retransmission_and_delivers(self):
+        engine, _, a, b, received = make_pair()
+        b.close()
+        for i in range(3):
+            a.send("b", i)
+        engine.run(until=5)
+        assert received == []
+        b.reopen()
+        engine.run(until=100)
+        assert [p for _, p in received] == [0, 1, 2]
+        assert a.all_delivered()
+
+    def test_close_is_idempotent_and_reopen_noop_when_open(self):
+        engine, _, a, b, _ = make_pair()
+        a.close()
+        a.close()
+        a.reopen()
+        a.reopen()
+        a.send("b", 0)
+        engine.run(until=10)
+        assert a.all_delivered()
+
+
+class TestBackoff:
+    def test_backoff_grows_retransmit_spacing(self):
+        engine = Engine()
+        net = Network(engine, SeededStreams(5), default_link=LinkSpec(
+            base_latency=0.05, loss_rate=1.0))
+        a = ReliableEndpoint("a", net, engine, lambda s, p: None,
+                             retransmit_interval=1.0, backoff=2.0,
+                             max_retries=None)
+        ReliableEndpoint("b", net, engine, lambda s, p: None)
+        a.send("b", 0)
+        engine.run(until=14.9)
+        # Retransmits at 1, 3, 7, 15... => 3 within t<15 under backoff;
+        # a fixed interval would have produced 14.
+        assert a.retransmissions == 3
+
+    def test_max_interval_caps_backoff(self):
+        engine = Engine()
+        net = Network(engine, SeededStreams(5), default_link=LinkSpec(
+            base_latency=0.05, loss_rate=1.0))
+        a = ReliableEndpoint("a", net, engine, lambda s, p: None,
+                             retransmit_interval=1.0, backoff=2.0,
+                             max_interval=2.0, max_retries=None)
+        ReliableEndpoint("b", net, engine, lambda s, p: None)
+        a.send("b", 0)
+        engine.run(until=20.9)
+        # 1, then capped at 2: fires at 1, 3, 5, ..., 19 => 10 rounds.
+        assert a.retransmissions == 10
+
+    def test_gives_up_after_max_retries(self):
+        engine = Engine()
+        net = Network(engine, SeededStreams(5), default_link=LinkSpec(
+            base_latency=0.05, loss_rate=1.0))
+        a = ReliableEndpoint("a", net, engine, lambda s, p: None,
+                             retransmit_interval=0.5, max_retries=3)
+        ReliableEndpoint("b", net, engine, lambda s, p: None)
+        a.send("b", 0)
+        with pytest.raises(SimulationError, match="gave up after 3"):
+            engine.run(until=1_000)
+
+    def test_ack_progress_resets_retry_count(self):
+        engine, net, a, b, received = make_pair(loss=0.4, seed=11)
+        # Under 40% loss with max_retries=3 per *consecutive* silent
+        # round, delivery still converges because each ack resets the
+        # counter; without the reset, total retransmissions would exceed
+        # the cap long before 30 frames drained.
+        a.max_retries = 3
+        for i in range(30):
+            a.send("b", i)
+        engine.run(until=10_000)
+        assert [p for _, p in received] == list(range(30))
+        assert a.retransmissions > 3

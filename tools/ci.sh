@@ -6,6 +6,9 @@
 #    which also asserts cross-mode determinism, and fails the build if
 #    engine_stream throughput regresses more than CI_BENCH_TOLERANCE
 #    (default 30%) against the committed BENCH_scale.json numbers.
+# 3. Runs the built-in seeded chaos smoke campaign twice (well under 60s
+#    total) and fails if any cell breaks an invariant or the two reports
+#    are not byte-identical (determinism gate).
 #
 # The committed reference was measured on a developer machine; raw
 # msgs/sec on other hardware differ, so the default tolerance is loose
@@ -66,5 +69,15 @@ if failures:
     )
 print("throughput within tolerance")
 EOF
+
+CHAOS_SEED="${CI_CHAOS_SEED:-7}"
+echo "== chaos smoke campaign (seed ${CHAOS_SEED}) =="
+PYTHONPATH=src python -m repro chaos --seed "${CHAOS_SEED}" \
+    --out /tmp/chaos_report_1.json
+PYTHONPATH=src python -m repro chaos --seed "${CHAOS_SEED}" \
+    --out /tmp/chaos_report_2.json >/dev/null
+cmp /tmp/chaos_report_1.json /tmp/chaos_report_2.json \
+    || { echo "chaos campaign is not reproducible"; exit 1; }
+echo "chaos campaign reproducible"
 
 echo "== CI gate passed =="
