@@ -9,9 +9,12 @@ recovery. Campaigns are bit-reproducible from a single seed.
 
 Layers:
 
-* :mod:`.faults` — :class:`FaultyNetwork`, per-link fault injection;
+* :mod:`.faults` — :class:`FaultyNetwork`, per-link fault injection,
+  plus :class:`FloodSpec` burst/flood load injection (overload as a
+  first-class fault family);
 * :mod:`.monitors` — :class:`InvariantMonitor`, always-on invariant
-  checks with first-violation reporting;
+  checks with first-violation reporting, and :class:`OverloadMonitor`
+  for bounded-memory / no-lost-accounting checks;
 * :mod:`.snapshot` — :class:`RetryingSnapshotCoordinator`, §4.4
   reconciliation that converges under faults and crashes;
 * :mod:`.crash` — :class:`CrashController`, journal-based crash/restart
@@ -21,7 +24,9 @@ Layers:
 """
 
 from .campaign import (
+    DEFAULT_OVERLOAD_SPEC,
     DEFAULT_SPEC,
+    OVERLOAD_COLUMNS,
     format_report,
     load_spec,
     run_campaign,
@@ -29,12 +34,25 @@ from .campaign import (
 )
 from .crash import CrashController, CrashEvent
 from .deployment import ChaosDeployment
-from .faults import NO_FAULTS, FaultSpec, FaultyNetwork
-from .monitors import InvariantMonitor, Violation, accounting_digest
+from .faults import (
+    NO_FAULTS,
+    FaultSpec,
+    FaultyNetwork,
+    FloodSpec,
+    flood_requests,
+)
+from .monitors import (
+    InvariantMonitor,
+    OverloadMonitor,
+    Violation,
+    accounting_digest,
+)
 from .snapshot import RetryingSnapshotCoordinator
 
 __all__ = [
     "DEFAULT_SPEC",
+    "DEFAULT_OVERLOAD_SPEC",
+    "OVERLOAD_COLUMNS",
     "format_report",
     "load_spec",
     "run_campaign",
@@ -45,7 +63,10 @@ __all__ = [
     "NO_FAULTS",
     "FaultSpec",
     "FaultyNetwork",
+    "FloodSpec",
+    "flood_requests",
     "InvariantMonitor",
+    "OverloadMonitor",
     "Violation",
     "accounting_digest",
     "RetryingSnapshotCoordinator",

@@ -23,15 +23,18 @@ import copy
 import json
 from typing import Any
 
+from ..core.overload import OverloadConfig
 from ..errors import SimulationError
 from ..sim.rng import SeededStreams, derive_seed
-from ..sim.workload import NormalUserWorkload
+from ..sim.workload import NormalUserWorkload, merge_workloads
 from .crash import CrashEvent
 from .deployment import ChaosDeployment
-from .faults import FaultSpec
+from .faults import FaultSpec, FloodSpec, flood_requests
 
 __all__ = [
     "DEFAULT_SPEC",
+    "DEFAULT_OVERLOAD_SPEC",
+    "OVERLOAD_COLUMNS",
     "load_spec",
     "run_cell",
     "run_campaign",
@@ -89,6 +92,71 @@ DEFAULT_SPEC: dict[str, Any] = {
 }
 
 
+#: The built-in overload campaign: the same small deployment with the
+#: overload-protection layer on, swept from a clean baseline through a
+#: 2× burst to a sustained 10× flood against one ISP's admission rate.
+#: Every cell must keep the overload monitor green — bounded queues, no
+#: lost accounting — and conserve value, demonstrating that saturation
+#: degrades service (shed/bounce) instead of correctness.
+DEFAULT_OVERLOAD_SPEC: dict[str, Any] = {
+    "name": "builtin-overload",
+    "seed": 11,
+    "deployment": {
+        "n_isps": 3,
+        "users_per_isp": 6,
+        "monitor_interval": 5.0,
+        "reconcile_every": 150.0,
+        "overload": {
+            "admit_rate": 8.0,
+            "admit_burst": 16,
+            "queue_capacity": 64,
+            "retry_base": 2.0,
+            "retry_backoff": 2.0,
+            "retry_max_interval": 30.0,
+            "max_retries": 3,
+        },
+    },
+    "workload": {
+        "rate_per_day": 2000.0,
+        "duration": 300.0,
+    },
+    "drain_window": 600.0,
+    "cells": [
+        {
+            "name": "baseline",
+            "faults": {},
+            "floods": [],
+        },
+        {
+            "name": "burst-2x",
+            "faults": {},
+            "floods": [
+                {
+                    "attacker_isp": 0,
+                    "target_isp": 1,
+                    "rate_per_sec": 16.0,
+                    "start": 60.0,
+                    "duration": 60.0,
+                },
+            ],
+        },
+        {
+            "name": "flood-10x",
+            "faults": {"drop_rate": 0.05},
+            "floods": [
+                {
+                    "attacker_isp": 0,
+                    "target_isp": 1,
+                    "rate_per_sec": 80.0,
+                    "start": 60.0,
+                    "duration": 120.0,
+                },
+            ],
+        },
+    ],
+}
+
+
 def load_spec(path: str) -> dict[str, Any]:
     """Load a campaign spec from a JSON (preferred) or YAML file.
 
@@ -139,6 +207,9 @@ def run_cell(
         **spec.get("deployment", {}),
         **cell.get("deployment", {}),
     }
+    overload_kwargs = deployment_kwargs.pop("overload", None)
+    if overload_kwargs is not None:
+        deployment_kwargs["overload"] = OverloadConfig(**overload_kwargs)
     workload_kwargs = {**spec.get("workload", {}), **cell.get("workload", {})}
     duration = float(workload_kwargs.pop("duration", 600.0))
     faults = FaultSpec(**cell.get("faults", {}))
@@ -154,8 +225,22 @@ def run_cell(
         streams=SeededStreams(derive_seed(cell_seed, "chaos-workload")),
         **workload_kwargs,
     )
+    requests = workload.generate(duration)
+    floods = [FloodSpec(**flood) for flood in cell.get("floods", [])]
+    if floods:
+        flood_streams = [
+            flood_requests(
+                flood,
+                n_isps=deployment.network.n_isps,
+                users_per_isp=deployment.network.users_per_isp,
+                streams=SeededStreams(derive_seed(cell_seed, f"flood:{index}")),
+                name=f"flood{index}",
+            )
+            for index, flood in enumerate(floods)
+        ]
+        requests = merge_workloads(requests, *flood_streams)
     converged = deployment.run(
-        workload.generate(duration),
+        requests,
         until=duration,
         drain_window=float(spec.get("drain_window", 900.0)),
     )
@@ -164,10 +249,12 @@ def run_cell(
     stats = deployment.stats()
     conserved = network.total_value() == network.expected_total_value()
     first = deployment.monitor.first_violation
+    first_overload = deployment.overload_monitor.first_violation
     passed = (
         converged
         and conserved
         and stats["violations"] == 0
+        and stats["overload_violations"] == 0
         and stats["snapshot_failed"] == 0
     )
     return {
@@ -178,6 +265,9 @@ def run_cell(
         "conserved": conserved,
         "delivered": network.metrics.counter("deliver.delivered").value,
         "first_violation": str(first) if first is not None else None,
+        "first_overload_violation": (
+            str(first_overload) if first_overload is not None else None
+        ),
         "digest": deployment.digest(),
         **stats,
     }
@@ -217,9 +307,40 @@ _COLUMNS = [
     ("committed", "snapshot_committed"),
 ]
 
+#: Column set for overload campaigns: the admission-control disposition
+#: of every attempt (accepted/shed/bounced), the queue high-water mark
+#: against its bound, and the breaker activity.
+OVERLOAD_COLUMNS = [
+    ("cell", "cell"),
+    ("pass", "passed"),
+    ("conv", "converged"),
+    ("cons", "conserved"),
+    ("viol", "violations"),
+    ("oviol", "overload_violations"),
+    ("submits", "submits"),
+    ("delivered", "delivered"),
+    ("accepted", "overload_accepted"),
+    ("shed", "overload_shed"),
+    ("bounced", "overload_bounced"),
+    ("peakq", "overload_peak_pending"),
+    ("parked", "letters_parked"),
+    ("bropen", "transfer_breaker_opens"),
+]
 
-def format_report(report: dict[str, Any]) -> str:
-    """Render a campaign report as a deterministic fixed-width table."""
+
+def format_report(
+    report: dict[str, Any],
+    columns: list[tuple[str, str]] | None = None,
+) -> str:
+    """Render a campaign report as a deterministic fixed-width table.
+
+    Args:
+        columns: ``(header, row_key)`` pairs; defaults to the chaos
+            column set (:data:`OVERLOAD_COLUMNS` fits overload
+            campaigns).
+    """
+    if columns is None:
+        columns = _COLUMNS
     lines = [
         f"campaign {report['campaign']!r}  seed={report['seed']}  "
         f"verdict={'PASS' if report['passed'] else 'FAIL'}"
@@ -229,9 +350,9 @@ def format_report(report: dict[str, Any]) -> str:
         rows.append([
             str(row[key]) if not isinstance(row[key], bool)
             else ("yes" if row[key] else "NO")
-            for _, key in _COLUMNS
+            for _, key in columns
         ])
-    headers = [title for title, _ in _COLUMNS]
+    headers = [title for title, _ in columns]
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
         for i in range(len(headers))
@@ -245,6 +366,12 @@ def format_report(report: dict[str, Any]) -> str:
         if row["first_violation"]:
             lines.append(
                 f"{row['cell']}: FIRST VIOLATION {row['first_violation']} "
+                f"(replay with seed {row['seed']})"
+            )
+        if row.get("first_overload_violation"):
+            lines.append(
+                f"{row['cell']}: FIRST OVERLOAD VIOLATION "
+                f"{row['first_overload_violation']} "
                 f"(replay with seed {row['seed']})"
             )
     return "\n".join(lines)

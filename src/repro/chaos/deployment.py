@@ -19,6 +19,18 @@ deployment actually runs it:
 * an :class:`~repro.chaos.monitors.InvariantMonitor` checks
   anti-symmetry, conservation and non-negativity on a periodic timer.
 
+With an :class:`~repro.core.overload.OverloadConfig` the deployment adds
+the overload-protection layer: per-ISP admission control inside the
+Zmail core (driven by this deployment's engine clock and timers), a
+circuit breaker per directed inter-ISP link that *parks* outbound
+letters when the reliable layer's unacked backlog says the peer is
+saturated (parked letters stay in the in-flight ledger, so anti-symmetry
+accounting is undisturbed, and are flushed when a probe finds the
+backlog drained), a breaker guarding bank snapshot RPCs (reconciliation
+rounds are skipped, not wedged, while the bank keeps failing rounds),
+and an :class:`~repro.chaos.monitors.OverloadMonitor` asserting bounded
+memory and no-lost-accounting on the monitor cadence.
+
 Submissions for a crashed ISP are queued client-side (users retry) and
 flushed when the node returns, so a crash delays mail but never loses a
 submission — the property the differential tests pin down.
@@ -29,6 +41,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..core.config import ZmailConfig
+from ..core.overload import CircuitBreaker, OverloadConfig
 from ..core.protocol import ZmailNetwork
 from ..core.transfer import Letter, SendReceipt
 from ..errors import SimulationError
@@ -40,7 +53,7 @@ from ..sim.rng import SeededStreams, derive_seed
 from ..sim.workload import SendRequest
 from .crash import CrashController, CrashEvent
 from .faults import FaultSpec, FaultyNetwork
-from .monitors import InvariantMonitor, accounting_digest
+from .monitors import InvariantMonitor, OverloadMonitor, accounting_digest
 from .snapshot import (
     ChaosSnapshotReply,
     ChaosSnapshotRequest,
@@ -74,6 +87,10 @@ class ChaosDeployment:
             disables reconciliation.
         snapshot_opts: Keyword overrides for the
             :class:`RetryingSnapshotCoordinator`.
+        overload: Enable the overload-protection layer (admission
+            control, transfer/snapshot circuit breakers, overload
+            monitor) with these parameters; ``None`` (the default) keeps
+            the historical unprotected behaviour, byte-for-byte.
     """
 
     def __init__(
@@ -92,6 +109,7 @@ class ChaosDeployment:
         monitor_interval: float = 5.0,
         reconcile_every: float | None = None,
         snapshot_opts: dict | None = None,
+        overload: OverloadConfig | None = None,
     ) -> None:
         self.seed = seed
         self.engine = Engine()
@@ -103,6 +121,7 @@ class ChaosDeployment:
         )
         # The Zmail core runs in direct mode but yields every outbound
         # letter to our transport, which carries it over reliable links.
+        self.overload = overload
         self.network = ZmailNetwork(
             n_isps=n_isps,
             users_per_isp=users_per_isp,
@@ -110,6 +129,26 @@ class ChaosDeployment:
             config=config,
             seed=seed,
             transport=self._transport,
+            overload=overload,
+            # The core runs in direct mode; this deployment's engine is
+            # the clock and timer source for admission-control retries.
+            overload_clock=(lambda: self.engine.now) if overload else None,
+            overload_scheduler=(
+                (
+                    lambda delay, cb: self.engine.schedule_after(
+                        delay, cb, label="overload-retry"
+                    )
+                )
+                if overload
+                else None
+            ),
+            # A crashed ISP must not process admission retries: the pump
+            # holds its deferred queue until the node is back up.
+            overload_gate=(
+                (lambda isp_id: not self.net.is_down(f"isp{isp_id}"))
+                if overload
+                else None
+            ),
         )
         self.endpoints: dict[str, ReliableEndpoint] = {}
         for isp_id in range(n_isps):
@@ -139,7 +178,22 @@ class ChaosDeployment:
         )
         self.crash_controller = CrashController(self)
         self.monitor = InvariantMonitor(self, interval=monitor_interval)
+        self.overload_monitor = OverloadMonitor(self, interval=monitor_interval)
         self.reconcile_every = reconcile_every
+        # Overload circuit breakers: one per directed inter-ISP link
+        # (created lazily) plus one guarding bank snapshot RPCs.
+        self._transfer_breakers: dict[tuple[int, int], CircuitBreaker] = {}
+        self._parked: dict[tuple[int, int], list[Letter]] = {}
+        self._probe_armed: set[tuple[int, int]] = set()
+        self._snapshot_breaker: CircuitBreaker | None = None
+        self._rounds_observed = 0
+        self.letters_parked = 0
+        self.snapshots_skipped = 0
+        if overload is not None:
+            self._snapshot_breaker = CircuitBreaker(
+                failure_threshold=overload.breaker_failure_threshold,
+                reset_timeout=overload.breaker_reset_timeout,
+            )
         # Paid letters currently in flight per unordered ISP pair: the
         # anti-symmetry adjustment the monitor applies mid-run.
         self._inflight_pair: dict[tuple[int, int], int] = {}
@@ -156,7 +210,100 @@ class ChaosDeployment:
         if letter.paid:
             pair = letter.pair
             self._inflight_pair[pair] = self._inflight_pair.get(pair, 0) + 1
+        if self.overload is not None:
+            self._send_letter_guarded(letter)
+            return
         self.endpoints[f"isp{letter.src_isp}"].send(f"isp{letter.dst_isp}", letter)
+
+    # -- transfer circuit breaker ---------------------------------------------------
+
+    def _transfer_breaker(self, key: tuple[int, int]) -> CircuitBreaker:
+        breaker = self._transfer_breakers.get(key)
+        if breaker is None:
+            assert self.overload is not None
+            breaker = CircuitBreaker(
+                failure_threshold=self.overload.breaker_failure_threshold,
+                reset_timeout=self.overload.breaker_reset_timeout,
+            )
+            self._transfer_breakers[key] = breaker
+        return breaker
+
+    def _send_letter_guarded(self, letter: Letter) -> None:
+        """Send one letter through the directed link's circuit breaker.
+
+        The breaker's failure signal is the reliable layer's unacked
+        backlog toward the peer: a link whose retransmit queue keeps
+        growing (crashed or saturated destination) trips the breaker
+        after ``breaker_failure_threshold`` consecutive over-limit
+        observations, and subsequent letters *park* locally instead of
+        piling more frames onto the dying link. Parked letters were
+        already counted in the per-pair in-flight ledger (the sender's
+        credit moved at submit), so anti-symmetry monitoring is
+        unaffected; they flush once a probe finds the backlog drained.
+        """
+        assert self.overload is not None
+        src, dst = letter.src_isp, letter.dst_isp
+        key = (src, dst)
+        breaker = self._transfer_breaker(key)
+        now = self.engine.now
+        if not breaker.allow(now):
+            self._parked.setdefault(key, []).append(letter)
+            self.letters_parked += 1
+            self._arm_park_probe(key)
+            return
+        src_name, dst_name = f"isp{src}", f"isp{dst}"
+        backlog = self.endpoints[src_name].unacked_count(dst_name)
+        if backlog > self.overload.breaker_backlog_limit:
+            breaker.record_failure(now)
+        else:
+            breaker.record_success()
+        self.endpoints[src_name].send(dst_name, letter)
+
+    def _arm_park_probe(self, key: tuple[int, int]) -> None:
+        if key in self._probe_armed:
+            return
+        assert self.overload is not None
+        self._probe_armed.add(key)
+        self.engine.schedule_after(
+            self.overload.breaker_reset_timeout,
+            lambda: self._probe_parked(key),
+            label="park-probe",
+        )
+
+    def _probe_parked(self, key: tuple[int, int]) -> None:
+        """Half-open trial for a parked link: flush if the backlog drained."""
+        self._probe_armed.discard(key)
+        parked = self._parked.get(key)
+        if not parked:
+            return
+        assert self.overload is not None
+        breaker = self._transfer_breakers[key]
+        now = self.engine.now
+        if not breaker.allow(now):
+            self._arm_park_probe(key)
+            return
+        src, dst = key
+        src_name, dst_name = f"isp{src}", f"isp{dst}"
+        if self.net.is_down(src_name):
+            # The parking ISP itself crashed meanwhile; try again later.
+            self._arm_park_probe(key)
+            return
+        backlog = self.endpoints[src_name].unacked_count(dst_name)
+        # Hysteresis: reopen the link only once the backlog has drained
+        # to half the trip limit, so flushing doesn't immediately re-trip.
+        if backlog > self.overload.breaker_backlog_limit // 2:
+            breaker.record_failure(now)
+            self._arm_park_probe(key)
+            return
+        breaker.record_success()
+        self._parked[key] = []
+        endpoint = self.endpoints[src_name]
+        for letter in parked:
+            endpoint.send(dst_name, letter)
+
+    def parked_letters(self) -> int:
+        """Letters currently parked behind open transfer breakers."""
+        return sum(len(letters) for letters in self._parked.values())
 
     def _isp_payload_handler(self, isp_id: int):
         def on_payload(src: str, payload: object) -> None:
@@ -233,6 +380,34 @@ class ChaosDeployment:
         if not self.net.is_down("bank"):
             self.network.rebalance_pools(up)
 
+    def _reconcile_tick(self) -> None:
+        """Trigger reconciliation, short-circuited by the snapshot breaker.
+
+        The breaker learns from *completed* rounds: each committed round
+        is a success, each failed (uncommitted, uninterrupted) round a
+        failure. While open, reconciliation ticks are skipped — a bank
+        that keeps breaking rounds gets a quiet period instead of an
+        ever-growing pile of doomed snapshot RPCs — and a half-open trial
+        lets one round probe recovery.
+        """
+        breaker = self._snapshot_breaker
+        if breaker is not None:
+            now = self.engine.now
+            rounds = self.coordinator.rounds
+            index = self._rounds_observed
+            while index < len(rounds) and rounds[index].finished_at is not None:
+                outcome = rounds[index]
+                if outcome.committed:
+                    breaker.record_success()
+                elif not outcome.interrupted:
+                    breaker.record_failure(now)
+                index += 1
+            self._rounds_observed = index
+            if not breaker.allow(now):
+                self.snapshots_skipped += 1
+                return
+        self.coordinator.trigger()
+
     # -- running ---------------------------------------------------------------------
 
     def run(
@@ -256,6 +431,7 @@ class ChaosDeployment:
             Whether the deployment reached quiescence.
         """
         self.monitor.start()
+        self.overload_monitor.start()
         self.engine.add_stream(requests, self.submit, label="chaos-workload")
         midnight_handle = self.engine.schedule_every(
             DAY, self._midnight, label="chaos-midnight"
@@ -264,7 +440,7 @@ class ChaosDeployment:
         if self.reconcile_every is not None:
             reconcile_handle = self.engine.schedule_every(
                 self.reconcile_every,
-                self.coordinator.trigger,
+                self._reconcile_tick,
                 label="chaos-reconcile",
             )
         self.engine.run(until=until)
@@ -276,6 +452,8 @@ class ChaosDeployment:
             self.engine.run(until=min(self.engine.now + drain_step, deadline))
         self.monitor.stop()
         self.monitor.check()
+        self.overload_monitor.stop()
+        self.overload_monitor.check()
         return self.quiescent()
 
     def quiescent(self) -> bool:
@@ -286,6 +464,8 @@ class ChaosDeployment:
             and not any(self._deferred.values())
             and not self.coordinator.active
             and self.network.paid_letters_in_flight == 0
+            and self.network.overload_pending() == 0
+            and self.parked_letters() == 0
             and all(ep.all_delivered() for ep in self.endpoints.values())
         )
 
@@ -321,4 +501,17 @@ class ChaosDeployment:
             "snapshot_failed": self.coordinator.rounds_failed,
             "monitor_checks": self.monitor.checks_run,
             "violations": self.monitor.violations_seen,
+            "overload_violations": self.overload_monitor.violations_seen,
+            "letters_parked": self.letters_parked,
+            "parked_now": self.parked_letters(),
+            "transfer_breaker_opens": sum(
+                b.times_opened for b in self._transfer_breakers.values()
+            ),
+            "snapshot_breaker_opens": (
+                self._snapshot_breaker.times_opened
+                if self._snapshot_breaker is not None
+                else 0
+            ),
+            "snapshots_skipped": self.snapshots_skipped,
+            **self.network.overload_stats(),
         }

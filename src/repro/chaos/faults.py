@@ -2,7 +2,9 @@
 
 :class:`FaultyNetwork` extends :class:`~repro.sim.network.Network` with
 the four classic message faults — drop, duplicate, reorder, delay — plus
-node down/up state for the crash model. Faults are applied per directed
+node down/up state for the crash model. :class:`FloodSpec` adds the
+fifth fault family: *overload*, a burst of send traffic aimed at one ISP
+at a rate chosen relative to what its admission controller can sustain. Faults are applied per directed
 link and each fault type draws from its own named RNG stream
 (``chaos:drop:a->b``, ``chaos:dup:a->b``, …), so changing one fault rate
 never perturbs the random decisions of another: campaigns stay
@@ -19,13 +21,21 @@ exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..errors import SimulationError
 from ..sim.engine import Engine
 from ..sim.network import LinkSpec, Network
 from ..sim.rng import SeededStreams
+from ..sim.workload import Address, SendRequest, TrafficKind
 
-__all__ = ["FaultSpec", "NO_FAULTS", "FaultyNetwork"]
+__all__ = [
+    "FaultSpec",
+    "NO_FAULTS",
+    "FaultyNetwork",
+    "FloodSpec",
+    "flood_requests",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,90 @@ class FaultSpec:
 
 
 NO_FAULTS = FaultSpec()
+
+
+@dataclass(frozen=True)
+class FloodSpec:
+    """A burst/flood load-injection fault: overload as a first-class fault.
+
+    A set of ``attackers`` user machines at ``attacker_isp`` blast
+    Poisson traffic at ``rate_per_sec`` (aggregate) toward random users
+    of ``target_isp`` over ``[start, start + duration)``. The attack
+    traffic is ordinary :class:`SendRequest` workload — overload is an
+    *admission-layer* fault, so it is injected where mail enters the
+    system, not on the wire.
+
+    Attributes:
+        attacker_isp: ISP hosting the flooding machines (the ISP whose
+            admission controller absorbs the burst).
+        target_isp: ISP whose users receive the flood.
+        rate_per_sec: Aggregate offered load of the flood.
+        start: Virtual time the burst begins.
+        duration: Burst length in seconds.
+        attackers: Number of distinct compromised sender machines.
+        kind: Traffic classification of the flood (``"zombie"`` by
+            default — sheds first under the priority policy).
+    """
+
+    attacker_isp: int = 0
+    target_isp: int = 1
+    rate_per_sec: float = 100.0
+    start: float = 0.0
+    duration: float = 60.0
+    attackers: int = 4
+    kind: str = "zombie"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_sec <= 0:
+            raise SimulationError("flood rate_per_sec must be positive")
+        if self.duration <= 0:
+            raise SimulationError("flood duration must be positive")
+        if self.start < 0:
+            raise SimulationError("flood start must be non-negative")
+        if self.attackers < 1:
+            raise SimulationError("flood needs at least one attacker")
+        if self.kind not in TrafficKind._value2member_map_:
+            raise SimulationError(f"unknown flood traffic kind {self.kind!r}")
+
+
+def flood_requests(
+    spec: FloodSpec,
+    *,
+    n_isps: int,
+    users_per_isp: int,
+    streams: SeededStreams,
+    name: str = "flood",
+) -> Iterator[SendRequest]:
+    """Generate one flood's time-ordered :class:`SendRequest` stream.
+
+    Deterministic per seed (one named RNG stream per flood), lazy
+    (constant memory), and mergeable with any other workload via
+    :func:`~repro.sim.workload.merge_workloads`.
+    """
+    if not 0 <= spec.attacker_isp < n_isps or not 0 <= spec.target_isp < n_isps:
+        raise SimulationError(
+            f"flood ISPs out of range: {spec.attacker_isp} -> {spec.target_isp}"
+        )
+    stream = streams.get(f"{name}:{spec.attacker_isp}->{spec.target_isp}")
+    kind = TrafficKind(spec.kind)
+    attackers = [
+        Address(spec.attacker_isp, user % users_per_isp)
+        for user in range(spec.attackers)
+    ]
+    end = spec.start + spec.duration
+    t = spec.start
+
+    def generate() -> Iterator[SendRequest]:
+        now = t
+        while True:
+            now += stream.expovariate(spec.rate_per_sec)
+            if now >= end:
+                return
+            sender = attackers[stream.randrange(len(attackers))]
+            recipient = Address(spec.target_isp, stream.randrange(users_per_isp))
+            yield SendRequest(now, sender, recipient, kind)
+
+    return generate()
 
 
 class FaultyNetwork(Network):

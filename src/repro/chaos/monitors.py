@@ -33,7 +33,12 @@ from ..sim.events import EventHandle
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .deployment import ChaosDeployment
 
-__all__ = ["Violation", "InvariantMonitor", "accounting_digest"]
+__all__ = [
+    "Violation",
+    "InvariantMonitor",
+    "OverloadMonitor",
+    "accounting_digest",
+]
 
 #: Cap on recorded violations per run; a broken invariant usually fails
 #: every subsequent check, and the first few carry all the signal.
@@ -181,4 +186,101 @@ class InvariantMonitor:
                         f"isp{isp_id} user{user.user_id} balance="
                         f"{user.balance} account={user.account}",
                     ))
+        return found
+
+
+class OverloadMonitor:
+    """Bounded-memory + no-lost-accounting checks for the overload layer.
+
+    Two invariants, checked on the same periodic cadence as
+    :class:`InvariantMonitor`:
+
+    * **bounded memory** — each ISP's deferred queue (live size *and*
+      high-water mark) never exceeds its configured capacity, and the
+      shed audit ring never exceeds its cap: a flood cannot make an ISP
+      allocate without limit.
+    * **no lost accounting** — per controller,
+      ``attempts == accepted + shed + bounced + pending``: every message
+      that asked for admission is accounted for exactly once — processed,
+      refused, terminally bounced, or still queued. Combined with the
+      conservation check (shed/deferred outcomes never touch a ledger)
+      this is the "every admitted message is eventually delivered or
+      bounced" guarantee.
+
+    Does nothing (and stays green) when the deployment runs without an
+    :class:`~repro.core.overload.OverloadConfig`.
+    """
+
+    def __init__(self, deployment: "ChaosDeployment", *, interval: float = 5.0) -> None:
+        self.deployment = deployment
+        self.interval = interval
+        self.checks_run = 0
+        self.violations: list[Violation] = []
+        self.violations_seen = 0
+        self.first_violation: Violation | None = None
+        self._handle: EventHandle | None = None
+
+    def start(self) -> None:
+        """Arm the periodic check on the deployment's engine."""
+        if self._handle is not None:
+            return
+        self._handle = self.deployment.engine.schedule_every(
+            self.interval, self.check, label="overload-monitor"
+        )
+
+    def stop(self) -> None:
+        """Cancel the periodic check."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def green(self) -> bool:
+        """Whether no overload invariant has been violated so far."""
+        return self.violations_seen == 0
+
+    def check(self) -> list[Violation]:
+        """Run both overload checks now; record and return violations."""
+        self.checks_run += 1
+        found = self._violations_now()
+        for violation in found:
+            self.violations_seen += 1
+            if self.first_violation is None:
+                self.first_violation = violation
+            if len(self.violations) < MAX_RECORDED:
+                self.violations.append(violation)
+        return found
+
+    def _violations_now(self) -> list[Violation]:
+        network = self.deployment.network
+        now = self.deployment.engine.now
+        found: list[Violation] = []
+        for isp_id, controller in sorted(
+            network.overload_controllers().items()
+        ):
+            capacity = controller.queue.capacity
+            if controller.pending > capacity or controller.peak_pending > capacity:
+                found.append(Violation(
+                    now,
+                    "bounded-memory",
+                    f"isp{isp_id} deferred queue {controller.pending} "
+                    f"(peak {controller.peak_pending}) over capacity {capacity}",
+                ))
+            if len(controller.audit.records) > controller.audit.cap:
+                found.append(Violation(
+                    now,
+                    "bounded-memory",
+                    f"isp{isp_id} shed audit {len(controller.audit.records)} "
+                    f"over cap {controller.audit.cap}",
+                ))
+            delta = controller.accounting_delta()
+            if delta != 0:
+                found.append(Violation(
+                    now,
+                    "no-lost-accounting",
+                    f"isp{isp_id} attempts {controller.attempts} != "
+                    f"accepted {controller.accepted} + shed {controller.shed} "
+                    f"+ bounced {controller.bounced} + pending "
+                    f"{controller.pending} (delta {delta})",
+                ))
         return found

@@ -12,6 +12,8 @@ the system work without writing code:
 * ``scenario``    — kitchen-sink mixed simulation via the Scenario API.
 * ``audit``       — the solvency audit catching an e-penny-minting ISP.
 * ``chaos``       — fault-injection campaign with invariant monitors.
+* ``overload``    — burst/flood campaign against the overload-protection
+  layer (admission control, bounded queues, circuit breakers).
 """
 
 from __future__ import annotations
@@ -99,6 +101,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full report as JSON instead of the table",
     )
     chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to this file",
+    )
+
+    overload = sub.add_parser(
+        "overload",
+        help="run a burst/flood overload campaign against the "
+        "admission-control layer (bounded queues, shed/bounce, breakers)",
+    )
+    overload.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed (default: the spec's seed); the whole run is "
+        "bit-reproducible from it",
+    )
+    overload.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="campaign spec file (JSON, or YAML if available); "
+        "default: the built-in overload campaign",
+    )
+    overload.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON instead of the table",
+    )
+    overload.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the JSON report to this file",
     )
@@ -314,6 +340,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import (
+        DEFAULT_OVERLOAD_SPEC,
+        OVERLOAD_COLUMNS,
+        format_report,
+        load_spec,
+        run_campaign,
+    )
+
+    spec = load_spec(args.spec) if args.spec else DEFAULT_OVERLOAD_SPEC
+    report = run_campaign(spec, seed=args.seed)
+    payload = json.dumps(report, sort_keys=True, indent=2)
+    if args.as_json:
+        print(payload)
+    else:
+        print(format_report(report, columns=OVERLOAD_COLUMNS))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -324,6 +374,7 @@ _COMMANDS = {
     "scenario": cmd_scenario,
     "audit": cmd_audit,
     "chaos": cmd_chaos,
+    "overload": cmd_overload,
 }
 
 

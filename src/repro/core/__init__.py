@@ -22,6 +22,16 @@ from .isp import CompliantISP, DeliveryStats, NonCompliantISP
 from .ledger import Ledger, LedgerTotals
 from .mailinglist import ListServer, PostOutcome, Subscriber
 from .multibank import BankFederation, FederatedReport, RegionalReport
+from .overload import (
+    AdmissionController,
+    CircuitBreaker,
+    DeferredQueue,
+    OverloadConfig,
+    ShedAudit,
+    ShedClass,
+    TokenBucket,
+    shed_class_for,
+)
 from .misbehavior import (
     InconsistentPair,
     ReconciliationReport,
@@ -70,6 +80,14 @@ __all__ = [
     "BankFederation",
     "FederatedReport",
     "RegionalReport",
+    "AdmissionController",
+    "CircuitBreaker",
+    "DeferredQueue",
+    "OverloadConfig",
+    "ShedAudit",
+    "ShedClass",
+    "TokenBucket",
+    "shed_class_for",
     "InconsistentPair",
     "ReconciliationReport",
     "verify_credit_matrix",

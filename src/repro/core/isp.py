@@ -101,7 +101,12 @@ class CompliantISP:
         ] = []
         self._spam_filter = spam_filter
         self.compliance_view: dict[int, bool] = {isp_id: True}
-        self.limit_warning_log: list[tuple[int, int]] = []  # (user, sent_today)
+        # Per-user limit-hit counters. A bounded dict (at most one entry
+        # per user) rather than an append-only event log: a zombie
+        # hammering its daily limit in a million-message run used to grow
+        # this without bound; the zombie-detection signal only needs who
+        # hit the limit and how often.
+        self.limit_hits: dict[int, int] = {}
 
     # -- compliance directory -----------------------------------------------------
 
@@ -194,7 +199,7 @@ class CompliantISP:
         return SendReceipt(SendStatus.SENT_UNPAID, letter)
 
     def _note_limit_hit(self, user_id: int, sent_today: int) -> None:
-        self.limit_warning_log.append((user_id, sent_today))
+        self.limit_hits[user_id] = self.limit_hits.get(user_id, 0) + 1
 
     # -- receiving (§4.1) ----------------------------------------------------------
 
@@ -341,7 +346,7 @@ class CompliantISP:
 
     def zombie_suspects(self) -> list[int]:
         """Users who hit their daily limit — §5's zombie detection signal."""
-        return sorted({user_id for user_id, _ in self.limit_warning_log})
+        return sorted(self.limit_hits)
 
 
 class NonCompliantISP:

@@ -52,7 +52,7 @@ __all__ = [
     "FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2  # v2: limit_warning_log event list -> limit_hits counters
 
 
 def _user_state(user) -> dict[str, Any]:
@@ -224,7 +224,7 @@ def isp_state(isp: CompliantISP) -> dict[str, Any]:
 
     Covers the ledger (pool, cash, every user purse), the inter-ISP
     credit array, the installed compliance directory, delivery stats and
-    the zombie-detection warning log. Volatile state — an open snapshot
+    the zombie-detection per-user limit-hit counters. Volatile state — an open snapshot
     pause, the buffered outbox — is deliberately absent: a crash loses it.
     """
     return {
@@ -239,7 +239,7 @@ def isp_state(isp: CompliantISP) -> dict[str, Any]:
             str(user.user_id): _user_state(user) for user in isp.ledger.users()
         },
         "stats": dataclasses.asdict(isp.stats),
-        "limit_warning_log": [list(entry) for entry in isp.limit_warning_log],
+        "limit_hits": {str(user_id): count for user_id, count in sorted(isp.limit_hits.items())},
     }
 
 
@@ -263,10 +263,10 @@ def load_isp_state(isp: CompliantISP, state: dict[str, Any]) -> None:
         for user_key, user_state in state["users"].items():
             _load_user_state(isp.ledger.user(int(user_key)), user_state)
         isp.stats = DeliveryStats(**state["stats"])
-        isp.limit_warning_log = [
-            (int(user_id), int(count))
-            for user_id, count in state["limit_warning_log"]
-        ]
+        isp.limit_hits = {
+            int(user_id): int(count)
+            for user_id, count in state["limit_hits"].items()
+        }
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise SimulationError(
             f"malformed ISP journal: {type(exc).__name__}: {exc}"

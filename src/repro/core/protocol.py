@@ -36,6 +36,7 @@ from .bank import Bank
 from .config import ZmailConfig
 from .isp import CompliantISP, NonCompliantISP
 from .misbehavior import ReconciliationReport
+from .overload import AdmissionController, OverloadConfig, shed_class_for
 from .snapshot import (
     DirectSnapshotCoordinator,
     MarkerSnapshotCoordinator,
@@ -44,7 +45,14 @@ from .snapshot import (
     SnapshotRequest,
     TimeoutSnapshotCoordinator,
 )
-from .transfer import RECEIPT_BLOCKED_BALANCE, Letter, SendReceipt, SendStatus
+from .transfer import (
+    RECEIPT_BLOCKED_BALANCE,
+    RECEIPT_DEFERRED,
+    RECEIPT_SHED,
+    Letter,
+    SendReceipt,
+    SendStatus,
+)
 
 __all__ = ["ZmailNetwork"]
 
@@ -88,6 +96,25 @@ class ZmailNetwork:
             eventually call :meth:`deliver_transported` for each letter
             (exactly once). This is how the chaos harness interposes
             reliable links and fault injection between ISPs.
+        overload: Enable the overload-protection layer with these
+            parameters: every send passes a per-ISP
+            :class:`~repro.core.overload.AdmissionController` *before*
+            any ledger operation, so shed/deferred outcomes never move
+            value. Deferred messages retry with capped exponential
+            backoff (engine timers in engine mode, :meth:`note_time`
+            pumping in direct mode) and terminally bounce when their
+            retry budget runs out. Omit (the default) for the historical
+            unbounded behaviour.
+        overload_clock: Virtual-time source for the overload layer when
+            the network itself runs in direct mode but an external engine
+            drives time (the chaos harness). Defaults to the attached
+            engine's clock, or the latest :meth:`note_time` value.
+        overload_scheduler: ``(delay, callback)`` timer facility for
+            retry wake-ups, same defaulting as ``overload_clock``.
+        overload_gate: Optional readiness predicate per ISP id; a retry
+            pump for an ISP whose gate answers ``False`` (e.g. the node
+            is crashed in the chaos harness) is postponed rather than
+            processed, so retries never mutate a dead node's ledger.
 
     Example (direct mode)::
 
@@ -107,6 +134,12 @@ class ZmailNetwork:
         engine: Engine | None = None,
         link: LinkSpec | None = None,
         transport: Callable[[Letter], None] | None = None,
+        overload: OverloadConfig | None = None,
+        overload_clock: Callable[[], float] | None = None,
+        overload_scheduler: (
+            Callable[[float, Callable[[], None]], object] | None
+        ) = None,
+        overload_gate: Callable[[int], bool] | None = None,
     ) -> None:
         if n_isps <= 0 or users_per_isp <= 0:
             raise ValueError("need at least one ISP and one user per ISP")
@@ -167,6 +200,23 @@ class ZmailNetwork:
         self.midnight_handle = None  # set by run_workload in engine mode
         self.last_report: ReconciliationReport | None = None
         self._isp_names = [f"isp{isp_id}" for isp_id in range(n_isps)]
+
+        self.overload = overload
+        self._admission: dict[int, AdmissionController] | None = None
+        self._retry_armed: dict[int, float] = {}
+        self._direct_now = 0.0
+        self._overload_clock = overload_clock
+        self._overload_scheduler = overload_scheduler
+        self._overload_gate = overload_gate
+        if overload is not None:
+            self._admission = {
+                isp_id: AdmissionController(f"isp{isp_id}", overload)
+                for isp_id in range(n_isps)
+            }
+            self._inc_shed = metrics.counter("overload.shed").increment
+            self._inc_deferred = metrics.counter("overload.deferred").increment
+            self._inc_bounced = metrics.counter("overload.bounced").increment
+            self._inc_retried = metrics.counter("overload.retries").increment
 
         self.engine = engine
         self.transport = transport
@@ -252,9 +302,30 @@ class ZmailNetwork:
         engine mode it is handed to the latency network. ``content``
         optionally attaches the message's tokens for content-based
         receiving policies (FILTER).
+
+        With an :class:`OverloadConfig` active, the sender ISP's
+        admission controller runs first: a saturated ISP answers
+        ``SHED`` (refused outright, audited) or ``DEFERRED`` (queued for
+        backoff retry) without touching any ledger.
         """
         if not (0 <= sender.isp < self.n_isps and 0 <= recipient.isp < self.n_isps):
             raise SimulationError(f"address out of range: {sender} -> {recipient}")
+        if self._admission is not None:
+            receipt = self._admit_send(sender, recipient, kind, content)
+            if receipt is not None:
+                self._inc_send_status[receipt.status]()
+                self._inc_send_kind[kind]()
+                return receipt
+        return self._send_admitted(sender, recipient, kind, content)
+
+    def _send_admitted(
+        self,
+        sender: Address,
+        recipient: Address,
+        kind: TrafficKind,
+        content: tuple[str, ...] | None,
+    ) -> SendReceipt:
+        """The pre-overload send path: admission already granted (or off)."""
         isp = self.isps[sender.isp]
         receipt = isp.submit(sender.user, recipient, kind, content)
         if (
@@ -291,6 +362,154 @@ class ZmailNetwork:
         self._inc_topup_count()
         self._inc_topup_epennies(amount)
         return isp.submit(sender.user, recipient, kind, content)
+
+    # -- overload admission -------------------------------------------------------------
+
+    def _overload_now(self) -> float:
+        if self._overload_clock is not None:
+            return self._overload_clock()
+        return self.engine.now if self.engine is not None else self._direct_now
+
+    def _retry_timer(self) -> Callable[[float, Callable[[], None]], object] | None:
+        if self._overload_scheduler is not None:
+            return self._overload_scheduler
+        if self.engine is not None:
+            return lambda delay, cb: self.engine.schedule_after(
+                delay, cb, label="overload-retry"
+            )
+        return None
+
+    def _is_paid_route(self, sender: Address, recipient: Address) -> bool:
+        return isinstance(self.isps[sender.isp], CompliantISP) and isinstance(
+            self.isps[recipient.isp], CompliantISP
+        )
+
+    def _admit_send(
+        self,
+        sender: Address,
+        recipient: Address,
+        kind: TrafficKind,
+        content: tuple[str, ...] | None,
+    ) -> SendReceipt | None:
+        """Run admission control; ``None`` means accepted (proceed now)."""
+        assert self._admission is not None
+        controller = self._admission[sender.isp]
+        now = self._overload_now()
+        shed_class = shed_class_for(
+            kind, paid=self._is_paid_route(sender, recipient)
+        )
+        bounced_before = controller.bounced
+        decision = controller.admit(now, shed_class)
+        if controller.bounced > bounced_before:  # a queued victim was evicted
+            self._inc_bounced(controller.bounced - bounced_before)
+        if decision == "accept":
+            return None
+        if decision == "shed":
+            self._inc_shed()
+            return RECEIPT_SHED
+        controller.defer(now, (sender, recipient, kind, content), shed_class)
+        self._inc_deferred()
+        self._arm_retry(sender.isp, controller)
+        return RECEIPT_DEFERRED
+
+    def _arm_retry(self, isp_id: int, controller: AdmissionController) -> None:
+        """Engine mode: make sure a timer covers the earliest pending retry.
+
+        Direct mode needs no timers — :meth:`note_time` pumps as the
+        driver advances virtual time. Superseded timers fire spuriously
+        and pump an empty queue, which is harmless.
+        """
+        timer = self._retry_timer()
+        if timer is None:
+            return
+        due = controller.next_due()
+        if due is None:
+            return
+        armed = self._retry_armed.get(isp_id)
+        if armed is not None and armed <= due:
+            return
+        self._retry_armed[isp_id] = due
+        timer(max(0.0, due - self._overload_now()), lambda: self._retry_fire(isp_id))
+
+    def _retry_fire(self, isp_id: int) -> None:
+        self._retry_armed.pop(isp_id, None)
+        self._pump_overload(isp_id)
+
+    def _pump_overload(self, isp_id: int) -> None:
+        """Process due deferred sends for one ISP: deliver or bounce."""
+        assert self._admission is not None
+        controller = self._admission[isp_id]
+        now = self._overload_now()
+        if self._overload_gate is not None and not self._overload_gate(isp_id):
+            # Node not ready (crashed); hold the queue and try again after
+            # one base-backoff interval.
+            timer = self._retry_timer()
+            if timer is not None and controller.pending:
+                delay = self.overload.retry_base  # type: ignore[union-attr]
+                self._retry_armed[isp_id] = now + delay
+                timer(delay, lambda: self._retry_fire(isp_id))
+            return
+        for outcome, item in controller.pump(now):
+            if outcome == "accept":
+                sender, recipient, kind, content = item.payload
+                self._inc_retried()
+                self._send_admitted(sender, recipient, kind, content)
+            else:
+                self._inc_bounced()
+        self._arm_retry(isp_id, controller)
+
+    def overload_pending(self) -> int:
+        """Messages sitting in deferred queues across all ISPs."""
+        if self._admission is None:
+            return 0
+        return sum(c.pending for c in self._admission.values())
+
+    def overload_controllers(self) -> dict[int, AdmissionController]:
+        """The per-ISP admission controllers (empty dict when disabled)."""
+        return dict(self._admission) if self._admission is not None else {}
+
+    def overload_stats(self) -> dict[str, int]:
+        """Aggregate admission counters across all ISPs (zeros when off)."""
+        keys = (
+            "attempts", "accepted", "shed", "bounced", "evicted", "retries"
+        )
+        stats = {f"overload_{key}": 0 for key in keys}
+        stats["overload_pending"] = 0
+        stats["overload_peak_pending"] = 0
+        if self._admission is None:
+            return stats
+        for controller in self._admission.values():
+            for key in keys:
+                stats[f"overload_{key}"] += getattr(controller, key)
+            stats["overload_pending"] += controller.pending
+            stats["overload_peak_pending"] = max(
+                stats["overload_peak_pending"], controller.peak_pending
+            )
+        return stats
+
+    def drain_overload(self, *, deadline: float | None = None) -> bool:
+        """Direct mode: advance time through every pending retry.
+
+        Returns ``True`` when the deferred queues drained (every admitted
+        message delivered or bounced); ``False`` if ``deadline`` cut the
+        drain short. Engine mode drains through its own retry timers —
+        run the engine instead.
+        """
+        if self._admission is None or self._retry_timer() is not None:
+            return self.overload_pending() == 0
+        while self.overload_pending():
+            dues = [
+                due
+                for c in self._admission.values()
+                if (due := c.next_due()) is not None
+            ]
+            if not dues:
+                break
+            next_due = min(dues)
+            if deadline is not None and next_due > deadline:
+                return False
+            self.note_time(next_due)
+        return self.overload_pending() == 0
 
     def _route_letter(self, letter: Letter) -> None:
         if letter.paid:
@@ -434,8 +653,16 @@ class ZmailNetwork:
             self.rebalance_pools()
 
     def note_time(self, t: float) -> None:
-        """Direct-mode driver: trigger midnight work when a day boundary passes."""
+        """Direct-mode driver: midnight work at day boundaries, plus the
+        overload retry pump (deferred sends whose backoff expired by ``t``)."""
         self.advance_day_to(int(t // DAY))
+        if self._admission is not None:
+            if t > self._direct_now:
+                self._direct_now = t
+            for isp_id, controller in self._admission.items():
+                due = controller.next_due()
+                if due is not None and due <= self._direct_now:
+                    self._pump_overload(isp_id)
 
     def rebalance_pools(self, isp_ids: Iterable[int] | None = None) -> None:
         """§4.3: compliant ISPs buy/sell pool e-pennies at the bank.

@@ -10,7 +10,9 @@ account for every message:
   branch);
 * blocked — empty balance or daily limit (the zombie brake);
 * buffered — a credit snapshot is in progress; the message is queued and
-  flushed when sending resumes.
+  flushed when sending resumes;
+* shed / deferred — the overload layer refused or queued the message
+  *before* any ledger operation, so neither outcome moves value.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ __all__ = [
     "RECEIPT_BLOCKED_BALANCE",
     "RECEIPT_BLOCKED_LIMIT",
     "RECEIPT_BUFFERED",
+    "RECEIPT_SHED",
+    "RECEIPT_DEFERRED",
 ]
 
 
@@ -40,6 +44,8 @@ class SendStatus(Enum):
     BLOCKED_BALANCE = "blocked_balance"
     BLOCKED_LIMIT = "blocked_limit"
     BUFFERED = "buffered"
+    SHED = "shed"
+    DEFERRED = "deferred"
 
     @property
     def left_the_isp(self) -> bool:
@@ -115,3 +121,5 @@ RECEIPT_DELIVERED_LOCAL = SendReceipt(SendStatus.DELIVERED_LOCAL)
 RECEIPT_BLOCKED_BALANCE = SendReceipt(SendStatus.BLOCKED_BALANCE)
 RECEIPT_BLOCKED_LIMIT = SendReceipt(SendStatus.BLOCKED_LIMIT)
 RECEIPT_BUFFERED = SendReceipt(SendStatus.BUFFERED)
+RECEIPT_SHED = SendReceipt(SendStatus.SHED)
+RECEIPT_DEFERRED = SendReceipt(SendStatus.DEFERRED)

@@ -14,12 +14,22 @@ envisions: one :class:`ZmailGateway` per compliant ISP that
 * **acknowledgments** — mailing-list messages (``X-Zmail-List-Token``)
   are acknowledged automatically per §5: the ack email returns the
   e-penny to the distributor *without* reaching a human inbox.
+
+With an :class:`~repro.core.overload.OverloadConfig` the gateway also
+applies admission control to outbound submissions: saturation defers
+(bounded queue, exponential-backoff retries via :meth:`ZmailGateway.pump`)
+or sheds, and a deferred message that exhausts its retries is terminally
+bounced with a DSN-style notice filed into the sender's own mailbox.
+All gateway counters are exported through the shared network's
+:class:`~repro.sim.metrics.MetricsRegistry` under ``gateway.*`` names.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
+from ..core.overload import AdmissionController, DeferredItem, OverloadConfig, shed_class_for
 from ..core.protocol import ZmailNetwork
 from ..core.transfer import SendStatus
 from ..errors import SMTPPermanentError
@@ -76,6 +86,11 @@ class ZmailGateway:
         transport: Where outbound mail (including automatic acks) goes.
         retain_messages: Keep full messages in mailboxes (tests/demos);
             disable for high-volume simulations.
+        overload: Enables outbound admission control (token bucket +
+            bounded deferred queue + priority shedding). ``None`` keeps
+            the pre-overload behaviour exactly.
+        clock: Virtual-time source for the admission layer; without one
+            time only advances through :meth:`pump` calls.
     """
 
     def __init__(
@@ -85,6 +100,8 @@ class ZmailGateway:
         transport: MailTransport,
         *,
         retain_messages: bool = True,
+        overload: OverloadConfig | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if isp_id not in network.compliant_isps():
             raise ValueError(f"isp {isp_id} is not compliant in this network")
@@ -97,6 +114,28 @@ class ZmailGateway:
         self.acks_sent = 0
         self.acks_absorbed = 0
         self.rejected_sends = 0
+        self.shed_sends = 0
+        self.deferred_sends = 0
+        self.bounced_sends = 0
+        self.overload = overload
+        self._clock = clock
+        self._now = 0.0
+        self._admission: AdmissionController | None = None
+        if overload is not None:
+            self._admission = AdmissionController(f"gateway{isp_id}", overload)
+            self._admission.on_bounce = self._bounce_deferred
+        # Satellite observability: every gateway decision is visible
+        # through the shared registry, summed across the network's
+        # gateways under one namespace.
+        metrics = network.metrics
+        self._m = {
+            name: metrics.counter(f"gateway.{name}").increment
+            for name in (
+                "forged_rejected", "acks_sent", "acks_absorbed",
+                "rejected_sends", "shed", "deferred", "bounced",
+                "submitted", "delivered_inbound",
+            )
+        }
 
     @property
     def domain(self) -> str:
@@ -121,21 +160,58 @@ class ZmailGateway:
         *,
         list_token: str | None = None,
     ) -> SendStatus:
-        """A local user sends a message: account, stamp, transport.
+        """A local user sends a message: admit, account, stamp, transport.
 
-        Accounting runs first; only sends the ledger accepted reach the
-        wire. Raises nothing for ordinary refusals — the status tells the
-        caller what happened.
+        When overload protection is on, admission control runs *before*
+        any accounting — a shed or deferred message never touches the
+        ledger, so e-penny conservation is independent of load shedding.
+        ``SHED`` is a terminal refusal (SMTP 451 at the server face);
+        ``DEFERRED`` means the message is queued and will be retried by
+        :meth:`pump`. Raises nothing for ordinary refusals — the status
+        tells the caller what happened.
         """
         kind = (
             TrafficKind.MAILING_LIST if list_token is not None
             else TrafficKind.NORMAL
         )
+        if self._admission is not None:
+            now = self._gateway_now()
+            shed_class = shed_class_for(
+                kind, paid=self.network.bank.is_compliant(recipient.isp)
+            )
+            verdict = self._admission.admit(now, shed_class)
+            if verdict == "shed":
+                self.shed_sends += 1
+                self._m["shed"]()
+                return SendStatus.SHED
+            if verdict == "defer":
+                self.deferred_sends += 1
+                self._m["deferred"]()
+                self._admission.defer(
+                    now, (sender_user, recipient, message, list_token),
+                    shed_class,
+                )
+                return SendStatus.DEFERRED
+        return self._submit_admitted(
+            sender_user, recipient, message, list_token=list_token, kind=kind
+        )
+
+    def _submit_admitted(
+        self,
+        sender_user: int,
+        recipient: Address,
+        message: MailMessage,
+        *,
+        list_token: str | None,
+        kind: TrafficKind,
+    ) -> SendStatus:
+        """The pre-overload submission path: account, stamp, transport."""
         receipt = self.network.send(
             Address(self.isp_id, sender_user), recipient, kind
         )
         if receipt.status.blocked or receipt.status is SendStatus.BUFFERED:
             self.rejected_sends += 1
+            self._m["rejected_sends"]()
             return receipt.status
         stamped = stamp_message(
             message,
@@ -155,7 +231,101 @@ class ZmailGateway:
         else:
             # Local mail never leaves the ISP; file it directly.
             self._file(recipient.user, envelope, paid=True, folder="inbox")
+        self._m["submitted"]()
         return receipt.status
+
+    # -- overload: deferred retries and terminal bounces ----------------------------
+
+    def _gateway_now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return self._now
+
+    def pump(self, now: float | None = None) -> int:
+        """Retry due deferred submissions; returns how many were processed.
+
+        Args:
+            now: Virtual time of the pump; advances the gateway's internal
+                clock when no ``clock`` callable was configured. ``None``
+                reads the configured clock.
+
+        Accepted retries run the normal submission path; exhausted ones
+        are terminally bounced (the DSN notice is filed by the bounce
+        hook). A no-op without overload protection.
+        """
+        if now is not None:
+            self._now = max(self._now, now)
+        if self._admission is None:
+            return 0
+        processed = 0
+        for outcome, item in self._admission.pump(self._gateway_now()):
+            processed += 1
+            if outcome == "accept":
+                sender_user, recipient, message, list_token = item.payload
+                kind = (
+                    TrafficKind.MAILING_LIST if list_token is not None
+                    else TrafficKind.NORMAL
+                )
+                self._submit_admitted(
+                    sender_user, recipient, message,
+                    list_token=list_token, kind=kind,
+                )
+            # "bounce" outcomes were handled by the on_bounce hook.
+        return processed
+
+    def _bounce_deferred(self, now: float, item: DeferredItem, reason: str) -> None:
+        """Terminal bounce: file a DSN-style notice with the sender."""
+        self.bounced_sends += 1
+        self._m["bounced"]()
+        sender_user, recipient, original, _token = item.payload
+        sender_address = str(from_sim_address(Address(self.isp_id, sender_user)))
+        notice = MailMessage.compose(
+            sender=f"mailer-daemon@{self.domain}",
+            recipient=sender_address,
+            subject="Undeliverable: message bounced",
+            body=(
+                f"Your message could not be delivered: {reason}.\n"
+                f"Original subject: {original.subject or '(none)'}\n"
+            ),
+            extra_headers={
+                "X-Failed-Recipient": str(from_sim_address(recipient)),
+            },
+        )
+        envelope = Envelope(
+            mail_from=f"mailer-daemon@{self.domain}",
+            rcpt_to=sender_address,
+            message=notice,
+        )
+        self._file(sender_user, envelope, paid=True, folder="inbox")
+
+    @property
+    def pending_sends(self) -> int:
+        """Deferred submissions currently awaiting retry."""
+        return self._admission.pending if self._admission is not None else 0
+
+    def next_retry_due(self) -> float | None:
+        """Earliest deferred retry time, or ``None`` (for pump scheduling)."""
+        return (
+            self._admission.next_due() if self._admission is not None else None
+        )
+
+    def admission_stats(self) -> dict[str, int]:
+        """The admission controller's counters (zeros when overload is off)."""
+        if self._admission is None:
+            return {
+                "attempts": 0, "accepted": 0, "shed": 0,
+                "bounced": 0, "evicted": 0, "pending": 0, "peak_pending": 0,
+            }
+        a = self._admission
+        return {
+            "attempts": a.attempts,
+            "accepted": a.accepted,
+            "shed": a.shed,
+            "bounced": a.bounced,
+            "evicted": a.evicted,
+            "pending": a.pending,
+            "peak_pending": a.peak_pending,
+        }
 
     # -- inbound --------------------------------------------------------------------
 
@@ -179,16 +349,19 @@ class ZmailGateway:
         # A stamp asserting a different origin than the envelope is forged.
         if stamp is not None and stamp.sender_isp != f"isp{sender.isp}":
             self.forged_rejected += 1
+            self._m["forged_rejected"]()
             return False
 
         if is_ack(envelope.message):
             # §5: acks are processed automatically, never delivered.
             self.acks_absorbed += 1
+            self._m["acks_absorbed"]()
             return True
 
         paid = self.network.bank.is_compliant(sender.isp)
         folder = "inbox" if paid else "junk"
         self._file(recipient.user, envelope, paid=paid, folder=folder)
+        self._m["delivered_inbound"]()
 
         if stamp is not None and stamp.list_token is not None:
             self._auto_ack(recipient, envelope)
@@ -213,6 +386,7 @@ class ZmailGateway:
             ),
         )
         self.acks_sent += 1
+        self._m["acks_sent"]()
         if receipt.status is not SendStatus.DELIVERED_LOCAL:
             self.transport.submit(
                 Envelope(envelope.rcpt_to, envelope.mail_from, ack)

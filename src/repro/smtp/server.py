@@ -6,6 +6,12 @@ QUIT. The server performs dot-unstuffing on DATA and hands each completed
 to demonstrate the paper's claim that Zmail "requires no change to SMTP":
 the Zmail binding lives entirely in message headers and in the handler
 behind the server.
+
+Overload hardening: a concurrent-connection cap and per-session command
+and error budgets (all answered with ``421``, the RFC 821 "service not
+available, closing transmission channel" reply), plus an optional
+admission gate consulted at MAIL time that temp-fails with ``451`` when
+the system is saturated — backpressure instead of unbounded buffering.
 """
 
 from __future__ import annotations
@@ -35,6 +41,17 @@ class SMTPServer:
         hostname: Name announced in the greeting banner.
         rcpt_checker: Optional predicate; returning ``False`` rejects the
             recipient with 550 (used to model non-compliant-mail policies).
+        max_connections: Concurrent-session cap; connection attempts
+            beyond it are greeted with ``421`` and closed immediately
+            (counted in :attr:`connections_rejected`).
+        max_session_commands: Commands one session may issue before the
+            server closes it with ``421`` (anti-hogging budget).
+        max_session_errors: Errored commands (4xx/5xx replies) one
+            session may accumulate before a ``421`` close — a client
+            spewing garbage loses its slot instead of burning cycles.
+        admission: Optional gate consulted at MAIL time; returning
+            ``False`` temp-fails the transaction with ``451`` (counted in
+            :attr:`mail_tempfailed`), the SMTP face of admission control.
 
     Example (see ``examples/smtp_demo.py`` for a full round-trip)::
 
@@ -50,13 +67,27 @@ class SMTPServer:
         *,
         hostname: str = "zmail.example",
         rcpt_checker: Callable[[str], bool] | None = None,
+        max_connections: int = 64,
+        max_session_commands: int = 1000,
+        max_session_errors: int = 20,
+        admission: Callable[[], bool] | None = None,
     ) -> None:
+        if max_connections < 1 or max_session_commands < 1 or max_session_errors < 1:
+            raise ValueError("SMTP server budgets must be at least 1")
         self._handler = handler
         self.hostname = hostname
         self._rcpt_checker = rcpt_checker
         self._server: asyncio.AbstractServer | None = None
+        self.max_connections = max_connections
+        self.max_session_commands = max_session_commands
+        self.max_session_errors = max_session_errors
+        self._admission = admission
+        self._active_sessions = 0
         self.messages_accepted = 0
         self.sessions_served = 0
+        self.connections_rejected = 0
+        self.sessions_capped = 0
+        self.mail_tempfailed = 0
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Start listening; returns the bound ``(host, port)``."""
@@ -77,6 +108,24 @@ class SMTPServer:
     async def _serve_session(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._active_sessions >= self.max_connections:
+            self.connections_rejected += 1
+            try:
+                writer.write(
+                    f"421 {self.hostname} too many connections, "
+                    f"try again later\r\n".encode("ascii")
+                )
+                await writer.drain()
+            except ConnectionError:  # pragma: no cover - client raced away
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:  # pragma: no cover
+                    pass
+            return
+        self._active_sessions += 1
         self.sessions_served += 1
         session = _Session(self, reader, writer)
         try:
@@ -84,6 +133,7 @@ class SMTPServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._active_sessions -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -112,8 +162,12 @@ class _Session:
         self.greeted = False
         self.mail_from: str | None = None
         self.rcpt_to: list[str] = []
+        self.commands = 0
+        self.errors = 0
 
     async def _reply(self, code: int, text: str) -> None:
+        if code >= 400:
+            self.errors += 1
         self.writer.write(f"{code} {text}\r\n".encode("ascii"))
         await self.writer.drain()
 
@@ -129,10 +183,31 @@ class _Session:
         self.mail_from = None
         self.rcpt_to = []
 
+    async def _over_budget(self) -> bool:
+        """Check the per-session command and error budgets.
+
+        Returns True (after sending the 421 goodbye) when either budget
+        is exhausted, which terminates the session: a single client must
+        not be able to hog the listener with an endless command stream
+        or a torrent of garbage.
+        """
+        if self.commands > self.server.max_session_commands:
+            self.server.sessions_capped += 1
+            await self._reply(421, "too many commands, closing channel")
+            return True
+        if self.errors >= self.server.max_session_errors:
+            self.server.sessions_capped += 1
+            await self._reply(421, "too many errors, closing channel")
+            return True
+        return False
+
     async def run(self) -> None:
         await self._reply(220, f"{self.server.hostname} Zmail-repro SMTP ready")
         while True:
             line = await self._read_line()
+            self.commands += 1
+            if await self._over_budget():
+                return
             verb, _, argument = line.partition(" ")
             verb = verb.upper()
             if verb in ("HELO", "EHLO"):
@@ -164,6 +239,11 @@ class _Session:
             return
         if self.mail_from is not None:
             await self._reply(503, "nested MAIL command")
+            return
+        gate = self.server._admission
+        if gate is not None and not gate():
+            self.server.mail_tempfailed += 1
+            await self._reply(451, "server overloaded, try again later")
             return
         upper = argument.upper()
         if not upper.startswith("FROM:"):

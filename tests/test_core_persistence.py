@@ -194,7 +194,8 @@ class TestPerNodeJournals:
         assert fresh.ledger.pool == original.ledger.pool
         assert fresh.ledger.cash == original.ledger.cash
         assert fresh.stats == original.stats
-        assert fresh.limit_warning_log == original.limit_warning_log
+        assert fresh.limit_hits == original.limit_hits
+        assert fresh.zombie_suspects() == original.zombie_suspects()
         for user in original.ledger.users():
             twin = fresh.ledger.user(user.user_id)
             assert twin.balance == user.balance

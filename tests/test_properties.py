@@ -208,3 +208,108 @@ class TestLimitProperties:
         spent = before - net.isps[0].ledger.user(0).balance
         assert spent <= limit
         assert spent == min(limit, attempts)
+
+
+class TestDailyLimitRollover:
+    """§4.1 day-boundary resets, alone and against the overload layer."""
+
+    @given(
+        day_times=st.lists(
+            st.floats(min_value=0.0, max_value=2.99, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        limit=st.integers(min_value=1, max_value=8),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rollover_resets_and_keeps_invariants(self, day_times, limit):
+        """Arbitrary send schedules across day boundaries: sent_today
+        never exceeds the limit, resets at each midnight, deferred-queue
+        retries drain without losing accounting, and value is conserved
+        throughout."""
+        from repro.core.overload import OverloadConfig
+        from repro.sim.clock import DAY
+
+        config = ZmailConfig(
+            default_daily_limit=limit,
+            default_user_balance=1000,
+            auto_topup_amount=0,
+        )
+        net = ZmailNetwork(
+            n_isps=2,
+            users_per_isp=2,
+            config=config,
+            seed=0,
+            overload=OverloadConfig(
+                admit_rate=0.02,
+                admit_burst=2,
+                queue_capacity=4,
+                retry_base=30.0,
+                retry_backoff=2.0,
+                retry_max_interval=3600.0,
+                max_retries=3,
+            ),
+        )
+        sender = Address(0, 0)
+        user = net.isps[0].ledger.user(0)
+        for t in sorted(day * DAY for day in day_times):
+            net.note_time(t)
+            net.send(sender, Address(1, 0))
+            assert user.sent_today <= limit
+        assert net.drain_overload()
+
+        for controller in net.overload_controllers().values():
+            assert controller.accounting_delta() == 0
+        assert net.total_value() == net.expected_total_value()
+        # limit_hits is bounded per user, never an unbounded event log.
+        assert set(net.isps[0].limit_hits) <= {0, 1}
+        # The next midnight resets every daily counter.
+        net.note_time(10 * DAY)
+        for isp in net.compliant_isps().values():
+            for account in isp.ledger.users():
+                assert account.sent_today == 0
+
+    def test_retry_crossing_midnight_counts_against_new_day(self):
+        """A send deferred just before midnight whose retry fires after
+        it consumes the *new* day's quota: the day rollover applies
+        before the retry pump at the same note_time instant."""
+        from repro.core.overload import OverloadConfig
+        from repro.sim.clock import DAY
+
+        config = ZmailConfig(
+            default_daily_limit=2, default_user_balance=100,
+            auto_topup_amount=0,
+        )
+        net = ZmailNetwork(
+            n_isps=2, users_per_isp=2, config=config, seed=0,
+            overload=OverloadConfig(
+                # 0.02/s: the burst of 2 is gone at `late`, and the first
+                # retry 120s later (2.4 tokens refilled) succeeds.
+                admit_rate=0.02, admit_burst=2, queue_capacity=2,
+                retry_base=120.0, retry_backoff=1.0,
+                retry_max_interval=120.0, max_retries=5,
+            ),
+        )
+        sender = Address(0, 0)
+        user = net.isps[0].ledger.user(0)
+        late = DAY - 10.0
+        net.note_time(late)
+        statuses = [net.send(sender, Address(1, 0)).status for _ in range(3)]
+        assert [s.value for s in statuses] == [
+            "sent_paid", "sent_paid", "deferred",
+        ]
+        assert user.sent_today == 2  # day-0 quota fully used
+
+        # The deferred retry is due at late+120s, after midnight. Pumping
+        # past the boundary must reset the counter *first*, so the retry
+        # is charged to day 1, not blocked by day 0's exhausted quota.
+        assert net.drain_overload()
+        assert user.sent_today == 1
+        stats = net.overload_stats()
+        assert stats["overload_accepted"] == 3
+        assert stats["overload_bounced"] == 0
+        assert net.total_value() == net.expected_total_value()

@@ -177,3 +177,133 @@ class TestMailingListAcks:
         )
         with pytest.raises(ValueError, match="not compliant"):
             ZmailGateway(net, 1, InMemoryTransport())
+
+
+class TestGatewayBackpressure:
+    def _overloaded_deployment(self, **overrides):
+        from repro.core.overload import OverloadConfig
+
+        defaults = dict(
+            admit_rate=1.0, admit_burst=2, queue_capacity=3,
+            retry_base=1.0, retry_backoff=2.0, retry_max_interval=8.0,
+            max_retries=2,
+        )
+        defaults.update(overrides)
+        config = OverloadConfig(**defaults)
+        net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=50)
+        transport = InMemoryTransport()
+        gateways = {}
+        for isp_id in net.compliant_isps():
+            gateway = ZmailGateway(net, isp_id, transport, overload=config)
+            transport.register_domain(gateway.domain, gateway.handle_inbound)
+            gateways[isp_id] = gateway
+        return net, transport, gateways
+
+    def test_saturation_defers_then_sheds(self):
+        net, _, gateways = self._overloaded_deployment()
+        recipient = Address(1, 2)
+        message = plain_message(Address(0, 1), recipient)
+        statuses = [
+            gateways[0].submit_outbound(1, recipient, message)
+            for _ in range(7)
+        ]
+        assert statuses[:2] == [SendStatus.SENT_PAID] * 2
+        assert statuses[2:5] == [SendStatus.DEFERRED] * 3
+        assert statuses[5:] == [SendStatus.SHED] * 2
+        assert gateways[0].pending_sends == 3
+        assert gateways[0].shed_sends == 2
+        # Shed and deferred submissions never touched the ledger.
+        assert net.total_value() == net.expected_total_value()
+
+    def test_pump_delivers_deferred_mail(self):
+        net, _, gateways = self._overloaded_deployment()
+        recipient = Address(1, 2)
+        message = plain_message(Address(0, 1), recipient)
+        for _ in range(4):
+            gateways[0].submit_outbound(1, recipient, message)
+        t = 0.0
+        while gateways[0].pending_sends and t < 60.0:
+            t += 1.0
+            gateways[0].pump(t)
+        assert gateways[0].pending_sends == 0
+        assert gateways[0].bounced_sends == 0
+        # All four eventually reached the recipient's inbox.
+        assert len(gateways[1].mailbox(2).inbox) == 4
+        assert net.total_value() == net.expected_total_value()
+
+    def test_exhausted_retries_bounce_with_dsn(self):
+        net, _, gateways = self._overloaded_deployment(
+            admit_rate=0.001, admit_burst=1, max_retries=1,
+        )
+        recipient = Address(1, 2)
+        message = plain_message(Address(0, 1), recipient, subject="doomed")
+        assert (
+            gateways[0].submit_outbound(1, recipient, message)
+            is SendStatus.SENT_PAID
+        )
+        assert (
+            gateways[0].submit_outbound(1, recipient, message)
+            is SendStatus.DEFERRED
+        )
+        t = 0.0
+        while gateways[0].pending_sends and t < 200.0:
+            t += 1.0
+            gateways[0].pump(t)
+        assert gateways[0].bounced_sends == 1
+        # The DSN notice lands in the *sender's* inbox.
+        notices = [
+            r for r in gateways[0].mailbox(1).inbox
+            if r.envelope.message.subject.startswith("Undeliverable")
+        ]
+        assert len(notices) == 1
+        body = notices[0].envelope.message.body
+        assert "doomed" in body
+        assert net.total_value() == net.expected_total_value()
+
+    def test_clock_callable_drives_admission_time(self):
+        from repro.core.overload import OverloadConfig
+
+        now = [0.0]
+        net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=50)
+        transport = InMemoryTransport()
+        gateway = ZmailGateway(
+            net, 0, transport,
+            overload=OverloadConfig(admit_rate=1.0, admit_burst=1),
+            clock=lambda: now[0],
+        )
+        transport.register_domain(gateway.domain, gateway.handle_inbound)
+        peer = ZmailGateway(net, 1, transport)
+        transport.register_domain(peer.domain, peer.handle_inbound)
+        recipient = Address(1, 2)
+        message = plain_message(Address(0, 1), recipient)
+        assert (
+            gateway.submit_outbound(1, recipient, message)
+            is SendStatus.SENT_PAID
+        )
+        assert (
+            gateway.submit_outbound(1, recipient, message)
+            is SendStatus.DEFERRED
+        )
+        now[0] = 10.0  # tokens refill through the external clock
+        gateway.pump()
+        assert gateway.pending_sends == 0
+        assert gateway.admission_stats()["accepted"] == 2
+
+    def test_counters_exported_via_metrics(self):
+        net, _, gateways = self._overloaded_deployment()
+        recipient = Address(1, 2)
+        message = plain_message(Address(0, 1), recipient)
+        for _ in range(7):
+            gateways[0].submit_outbound(1, recipient, message)
+        counters = net.metrics.snapshot()["counters"]
+        assert counters["gateway.shed"] == gateways[0].shed_sends == 2
+        assert counters["gateway.deferred"] == 3
+        assert counters["gateway.submitted"] == 2
+        assert counters["gateway.delivered_inbound"] == 2
+
+    def test_no_overload_config_is_passthrough(self):
+        net, _, gateways = build_deployment()
+        assert gateways[0].pending_sends == 0
+        assert gateways[0].pump(100.0) == 0
+        assert gateways[0].admission_stats()["attempts"] == 0
+        assert gateways[0].next_retry_due() is None

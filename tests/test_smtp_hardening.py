@@ -176,3 +176,122 @@ class TestSessionRobustness:
 
         run(scenario())
         assert server.sessions_served == 3
+
+
+class TestOverloadHardening:
+    def test_connection_cap_replies_421(self):
+        server = SMTPServer(lambda e: None, max_connections=2)
+
+        async def scenario():
+            host, port = await server.start()
+            # Two sessions fill the cap; keep them open.
+            held = []
+            for _ in range(2):
+                reader, writer = await asyncio.open_connection(host, port)
+                await reader.readline()
+                held.append((reader, writer))
+            # The third is greeted with 421 and closed.
+            reader, writer = await asyncio.open_connection(host, port)
+            over_cap = int((await reader.readline())[:3])
+            eof = await reader.readline()
+            writer.close()
+            # Release a slot; a new connection is welcome again.
+            held[0][1].write(b"QUIT\r\n")
+            await held[0][1].drain()
+            await held[0][0].readline()
+            held[0][1].close()
+            await held[0][1].wait_closed()
+            reader, writer = await asyncio.open_connection(host, port)
+            after_release = int((await reader.readline())[:3])
+            writer.close()
+            held[1][1].close()
+            await server.stop()
+            return over_cap, eof, after_release
+
+        over_cap, eof, after_release = run(scenario())
+        assert over_cap == 421
+        assert eof == b""  # server hung up after the 421
+        assert after_release == 220
+        assert server.connections_rejected == 1
+        assert server.sessions_served == 3
+
+    def test_command_budget_closes_with_421(self):
+        server = SMTPServer(lambda e: None, max_session_commands=3)
+        codes = run(
+            raw_exchange(server, ["NOOP", "NOOP", "NOOP", "NOOP"])
+        )
+        assert codes == [220, 250, 250, 250, 421]
+        assert server.sessions_capped == 1
+
+    def test_error_budget_closes_with_421(self):
+        server = SMTPServer(lambda e: None, max_session_errors=2)
+        codes = run(
+            raw_exchange(server, ["BOGUS", "WAT", "HUH"])
+        )
+        # Two 500s exhaust the budget; the next command gets 421.
+        assert codes == [220, 500, 500, 421]
+        assert server.sessions_capped == 1
+
+    def test_well_behaved_session_untouched_by_budgets(self):
+        server = SMTPServer(
+            lambda e: None, max_session_commands=10, max_session_errors=1
+        )
+        codes = run(
+            raw_exchange(
+                server,
+                [
+                    "EHLO me",
+                    "MAIL FROM:<a@x.example>",
+                    "RCPT TO:<b@y.example>",
+                    "RSET",
+                    "QUIT",
+                ],
+            )
+        )
+        assert codes == [220, 250, 250, 250, 250, 221]
+        assert server.sessions_capped == 0
+
+    def test_admission_gate_tempfails_mail_with_451(self):
+        received = []
+        overloaded = [True]
+        server = SMTPServer(
+            received.append, admission=lambda: not overloaded[0]
+        )
+
+        async def scenario():
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            await reader.readline()
+
+            async def command(line):
+                writer.write(line.encode() + b"\r\n")
+                await writer.drain()
+                return int((await reader.readline())[:3])
+
+            await command("EHLO me")
+            saturated = await command("MAIL FROM:<a@x.example>")
+            overloaded[0] = False  # pressure relieved; same session retries
+            retried = await command("MAIL FROM:<a@x.example>")
+            await command("RCPT TO:<b@y.example>")
+            await command("DATA")
+            writer.write(b"Subject: later\r\n\r\nbody\r\n.\r\n")
+            await writer.drain()
+            accepted = int((await reader.readline())[:3])
+            writer.close()
+            await server.stop()
+            return saturated, retried, accepted
+
+        saturated, retried, accepted = run(scenario())
+        assert saturated == 451
+        assert retried == 250
+        assert accepted == 250
+        assert server.mail_tempfailed == 1
+        assert len(received) == 1
+
+    def test_budget_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SMTPServer(lambda e: None, max_connections=0)
+        with pytest.raises(ValueError):
+            SMTPServer(lambda e: None, max_session_errors=0)

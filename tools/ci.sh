@@ -9,6 +9,9 @@
 # 3. Runs the built-in seeded chaos smoke campaign twice (well under 60s
 #    total) and fails if any cell breaks an invariant or the two reports
 #    are not byte-identical (determinism gate).
+# 4. Runs the built-in seeded overload campaign twice the same way:
+#    every cell must keep the overload monitors green (bounded queues,
+#    no lost accounting) and the two reports must be byte-identical.
 #
 # The committed reference was measured on a developer machine; raw
 # msgs/sec on other hardware differ, so the default tolerance is loose
@@ -79,5 +82,15 @@ PYTHONPATH=src python -m repro chaos --seed "${CHAOS_SEED}" \
 cmp /tmp/chaos_report_1.json /tmp/chaos_report_2.json \
     || { echo "chaos campaign is not reproducible"; exit 1; }
 echo "chaos campaign reproducible"
+
+OVERLOAD_SEED="${CI_OVERLOAD_SEED:-11}"
+echo "== overload smoke campaign (seed ${OVERLOAD_SEED}) =="
+PYTHONPATH=src python -m repro overload --seed "${OVERLOAD_SEED}" \
+    --out /tmp/overload_report_1.json
+PYTHONPATH=src python -m repro overload --seed "${OVERLOAD_SEED}" \
+    --out /tmp/overload_report_2.json >/dev/null
+cmp /tmp/overload_report_1.json /tmp/overload_report_2.json \
+    || { echo "overload campaign is not reproducible"; exit 1; }
+echo "overload campaign reproducible"
 
 echo "== CI gate passed =="
