@@ -25,6 +25,7 @@ from typing import Any
 
 from ..core.overload import OverloadConfig
 from ..errors import SimulationError
+from ..obs.metrics_export import export_deployment
 from ..sim.rng import SeededStreams, derive_seed
 from ..sim.workload import NormalUserWorkload, merge_workloads
 from .crash import CrashEvent
@@ -247,6 +248,9 @@ def run_cell(
 
     network = deployment.network
     stats = deployment.stats()
+    # All counter reads go through the unified exporter so the campaign
+    # harness exercises the same metrics surface the CLI dumps.
+    metrics = export_deployment(deployment).collect()
     conserved = network.total_value() == network.expected_total_value()
     first = deployment.monitor.first_violation
     first_overload = deployment.overload_monitor.first_violation
@@ -263,7 +267,7 @@ def run_cell(
         "passed": passed,
         "converged": converged,
         "conserved": conserved,
-        "delivered": network.metrics.counter("deliver.delivered").value,
+        "delivered": metrics["zmail.deliver.delivered"],
         "first_violation": str(first) if first is not None else None,
         "first_overload_violation": (
             str(first_overload) if first_overload is not None else None

@@ -106,6 +106,9 @@ class CrashController:
         deployment.net.set_down(node)
         deployment.endpoints[node].close()
         self.crashes += 1
+        tracer = deployment.tracer
+        if tracer.enabled:
+            tracer.emit("crash", node=node)
 
     # -- restart ----------------------------------------------------------------
 
@@ -129,4 +132,7 @@ class CrashController:
         deployment.net.set_up(node)
         deployment.endpoints[node].reopen()
         self.restarts += 1
+        tracer = deployment.tracer
+        if tracer.enabled:
+            tracer.emit("restart", node=node)
         deployment.flush_deferred(node)

@@ -45,6 +45,7 @@ from ..core.overload import CircuitBreaker, OverloadConfig
 from ..core.protocol import ZmailNetwork
 from ..core.transfer import Letter, SendReceipt
 from ..errors import SimulationError
+from ..obs.trace import NULL_TRACER, TraceRecorder
 from ..sim.clock import DAY
 from ..sim.engine import Engine
 from ..sim.network import LinkSpec
@@ -110,14 +111,22 @@ class ChaosDeployment:
         reconcile_every: float | None = None,
         snapshot_opts: dict | None = None,
         overload: OverloadConfig | None = None,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         self.seed = seed
         self.engine = Engine()
+        # Observability: the deployment owns the virtual clock, so it
+        # installs it on the tracer before any subsystem attaches.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None and tracer is not NULL_TRACER and tracer.clock is None:
+            engine_clock = self.engine.clock
+            tracer.clock = lambda: engine_clock.now
         self.net = FaultyNetwork(
             self.engine,
             SeededStreams(derive_seed(seed, "chaos-net")),
             default_link=link or LinkSpec(base_latency=0.05),
             default_faults=faults,
+            tracer=tracer,
         )
         # The Zmail core runs in direct mode but yields every outbound
         # letter to our transport, which carries it over reliable links.
@@ -149,6 +158,7 @@ class ChaosDeployment:
                 if overload
                 else None
             ),
+            tracer=tracer,
         )
         self.endpoints: dict[str, ReliableEndpoint] = {}
         for isp_id in range(n_isps):

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import SimulationError
+from ..obs.trace import TraceRecorder
 from ..sim.engine import Engine
 from ..sim.network import LinkSpec, Network
 from ..sim.rng import SeededStreams
@@ -189,8 +190,9 @@ class FaultyNetwork(Network):
         *,
         default_link: LinkSpec | None = None,
         default_faults: FaultSpec | None = None,
+        tracer: TraceRecorder | None = None,
     ) -> None:
-        super().__init__(engine, streams, default_link=default_link)
+        super().__init__(engine, streams, default_link=default_link, tracer=tracer)
         self._default_faults = default_faults or NO_FAULTS
         self._fault_overrides: dict[tuple[str, str], FaultSpec] = {}
         # Per-link fault RNG bundle: (spec, drop, dup, reorder, delay).
@@ -259,14 +261,19 @@ class FaultyNetwork(Network):
         self.bytes_sent += size
         for tap in self._taps:
             tap(src, dst, payload)
+        tracer = self.tracer
 
         if src in self._down:
             # A dead process transmits nothing.
             self.dropped_down += 1
+            if tracer.enabled:
+                tracer.emit("fault", src=src, dst=dst, action="down")
             return
 
         if spec.loss_rate > 0 and stream.random() < spec.loss_rate:
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.emit("net.drop", src=src, dst=dst)
             return
 
         fcached = self._fault_cache.get(key)
@@ -277,12 +284,16 @@ class FaultyNetwork(Network):
         if faults.drop_rate > 0 and drop_rng.random() < faults.drop_rate:
             self.faults_dropped += 1
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.emit("fault", src=src, dst=dst, action="drop")
             return
 
         copies = 1
         if faults.duplicate_rate > 0 and dup_rng.random() < faults.duplicate_rate:
             copies = 2
             self.faults_duplicated += 1
+            if tracer.enabled:
+                tracer.emit("fault", src=src, dst=dst, action="duplicate")
 
         for _ in range(copies):
             delay = spec.base_latency
@@ -297,6 +308,8 @@ class FaultyNetwork(Network):
                 delay += reorder_rng.uniform(0.0, faults.reorder_delay)
                 fifo = False
                 self.faults_reordered += 1
+                if tracer.enabled:
+                    tracer.emit("fault", src=src, dst=dst, action="reorder")
             if delay == 0.0 and fifo and not self._pending.get(key):
                 self._deliver(key, endpoint, src, payload)
             else:
@@ -311,5 +324,8 @@ class FaultyNetwork(Network):
         # is down at delivery time is lost on the wire.
         if key[1] in self._down or src in self._down:
             self.dropped_down += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit("fault", src=src, dst=key[1], action="down")
             return
         super()._deliver(key, endpoint, src, payload)

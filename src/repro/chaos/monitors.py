@@ -127,8 +127,15 @@ class InvariantMonitor:
         """Run all invariant checks now; record and return violations."""
         self.checks_run += 1
         found = self._violations_now()
+        tracer = self.deployment.tracer
         for violation in found:
             self.violations_seen += 1
+            if tracer.enabled:
+                tracer.emit(
+                    "monitor.violation",
+                    monitor="invariant",
+                    kind=violation.invariant,
+                )
             if self.first_violation is None:
                 self.first_violation = violation
             if len(self.violations) < MAX_RECORDED:
@@ -243,8 +250,15 @@ class OverloadMonitor:
         """Run both overload checks now; record and return violations."""
         self.checks_run += 1
         found = self._violations_now()
+        tracer = self.deployment.tracer
         for violation in found:
             self.violations_seen += 1
+            if tracer.enabled:
+                tracer.emit(
+                    "monitor.violation",
+                    monitor="overload",
+                    kind=violation.invariant,
+                )
             if self.first_violation is None:
                 self.first_violation = violation
             if len(self.violations) < MAX_RECORDED:

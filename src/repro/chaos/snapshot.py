@@ -163,6 +163,17 @@ class RetryingSnapshotCoordinator:
             if not outcome.committed and not outcome.interrupted
         )
 
+    def _trace_round(self, attempt: int, outcome: str) -> None:
+        """Emit one ``snapshot.round`` trace event for the current round."""
+        tracer = self.deployment.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "snapshot.round",
+                round=len(self.rounds),
+                attempt=attempt,
+                outcome=outcome,
+            )
+
     def trigger(self) -> None:
         """Start a reconciliation round unless one is running or the bank is down."""
         deployment = self.deployment
@@ -182,6 +193,7 @@ class RetryingSnapshotCoordinator:
         assert self._outcome is not None
         if attempt > self.max_attempts:
             # Give up: the round is recorded as failed; campaign fails.
+            self._trace_round(attempt - 1, "giveup")
             self._outcome.finished_at = deployment.engine.now
             self._round = None
             self._outcome = None
@@ -193,6 +205,7 @@ class RetryingSnapshotCoordinator:
         round_ = _Round(token=token, attempt=attempt, expected=expected)
         self._round = round_
         self._outcome.attempts = attempt
+        self._trace_round(attempt, "start")
         request = ChaosSnapshotRequest(token=token, quiesce=quiesce)
         for isp_id in sorted(expected):
             deployment.send_control("bank", f"isp{isp_id}", request)
@@ -310,6 +323,7 @@ class RetryingSnapshotCoordinator:
             deployment.route_receipts(isp.resume_sending())
         report = deployment.network.bank.reconcile(replies)
         deployment.network.last_report = report
+        self._trace_round(round_.attempt, "commit")
         self._outcome.committed = True
         self._outcome.report = report
         self._outcome.finished_at = deployment.engine.now
@@ -323,6 +337,7 @@ class RetryingSnapshotCoordinator:
         if round_.timeout_handle is not None:
             round_.timeout_handle.cancel()
         self.aborted_attempts += 1
+        self._trace_round(round_.attempt, "abort")
         abort = SnapshotAbort(token=round_.token)
         for isp_id in sorted(round_.expected):
             deployment.send_control("bank", f"isp{isp_id}", abort)

@@ -14,6 +14,10 @@ the system work without writing code:
 * ``chaos``       — fault-injection campaign with invariant monitors.
 * ``overload``    — burst/flood campaign against the overload-protection
   layer (admission control, bounded queues, circuit breakers).
+* ``trace``       — canonical traced run: schema-valid JSONL event trace
+  plus the run manifest (byte-identical across same-seed runs).
+* ``metrics``     — canonical run's unified metrics export (one
+  namespaced registry over protocol, overload and gateway counters).
 """
 
 from __future__ import annotations
@@ -127,6 +131,44 @@ def build_parser() -> argparse.ArgumentParser:
     overload.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the JSON report to this file",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the canonical 3-ISP traced scenario and dump the JSONL "
+        "event trace plus the run manifest",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=7,
+        help="scenario seed; the trace and manifest are bit-reproducible "
+        "from it (default 7)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSONL trace to this file",
+    )
+    trace.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the run manifest here "
+        "(default: <out>.manifest.json when --out is given)",
+    )
+    trace.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="print the last N trace lines to stdout",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the canonical scenario and dump the unified metrics "
+        "export (sorted, namespaced, digestable)",
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=7,
+        help="scenario seed (default 7)",
+    )
+    metrics.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the metrics JSON to this file",
     )
     return parser
 
@@ -364,6 +406,50 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.canonical import run_canonical
+    from .obs.schema import validate_trace_lines
+    from .obs.trace import ListSink
+
+    sink = ListSink()
+    result, recorder, exporter, manifest = run_canonical(
+        seed=args.seed, sink=sink
+    )
+    lines = sink.lines()
+    validate_trace_lines(lines)
+    manifest_path = args.manifest
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        if manifest_path is None:
+            manifest_path = f"{args.out}.manifest.json"
+    if manifest_path:
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            handle.write(manifest.to_json())
+    if args.tail > 0:
+        for line in lines[-args.tail:]:
+            print(line)
+    print(f"events:          {recorder.events_emitted}")
+    print(f"event digest:    {recorder.digest()}")
+    print(f"metrics digest:  {exporter.digest()}")
+    print(f"manifest digest: {manifest.digest()}")
+    print(f"conserved:       {result.conserved}")
+    return 0 if result.conserved else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs.canonical import run_canonical
+
+    result, _recorder, exporter, _manifest = run_canonical(seed=args.seed)
+    payload = exporter.to_json()
+    print(payload)
+    print(f"metrics digest:  {exporter.digest()}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0 if result.conserved else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -375,6 +461,8 @@ _COMMANDS = {
     "audit": cmd_audit,
     "chaos": cmd_chaos,
     "overload": cmd_overload,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

@@ -26,6 +26,8 @@ from typing import Callable, Iterable
 
 from ..crypto import NonceSource
 from ..errors import InsufficientBalance, SimulationError
+from ..obs.spans import NULL_SPANS, SpanRegistry
+from ..obs.trace import NULL_TRACER, TraceRecorder
 from ..sim.clock import DAY
 from ..sim.engine import Engine
 from ..sim.metrics import MetricsRegistry
@@ -115,6 +117,18 @@ class ZmailNetwork:
             pump for an ISP whose gate answers ``False`` (e.g. the node
             is crashed in the chaos harness) is postponed rather than
             processed, so retries never mutate a dead node's ledger.
+        tracer: Observability event bus (:mod:`repro.obs.trace`). Every
+            ledger-visible step — sends, deliveries, top-ups, bank
+            trades, midnights, reconciliations, overload decisions —
+            emits one virtual-time-stamped event through it. Defaults
+            to the shared disabled recorder; every emit site is guarded
+            on ``tracer.enabled`` so the disabled path costs one
+            attribute check. If the recorder has no clock yet, the
+            network installs its own (engine time, or the direct-mode
+            driver time advanced by :meth:`note_time`).
+        spans: Wall-clock span registry (:mod:`repro.obs.spans`) timing
+            snapshot rounds and workload batches; never part of any
+            digest.
 
     Example (direct mode)::
 
@@ -140,6 +154,8 @@ class ZmailNetwork:
             Callable[[float, Callable[[], None]], object] | None
         ) = None,
         overload_gate: Callable[[int], bool] | None = None,
+        tracer: TraceRecorder | None = None,
+        spans: SpanRegistry | None = None,
     ) -> None:
         if n_isps <= 0 or users_per_isp <= 0:
             raise ValueError("need at least one ISP and one user per ISP")
@@ -220,11 +236,26 @@ class ZmailNetwork:
 
         self.engine = engine
         self.transport = transport
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.spans = spans if spans is not None else NULL_SPANS
+        if tracer is not None and tracer is not NULL_TRACER and tracer.clock is None:
+            # The outermost clock owner wins: a chaos harness or CLI that
+            # installed its own clock first keeps it.
+            if engine is not None:
+                engine_clock = engine.clock
+                tracer.clock = lambda: engine_clock.now
+            else:
+                tracer.clock = lambda: self._direct_now
         self.net: Network | None = None
         self._active_coordinator: object | None = None
         if engine is not None:
             streams = SeededStreams(seed)
-            self.net = Network(engine, streams, default_link=link or LinkSpec())
+            self.net = Network(
+                engine,
+                streams,
+                default_link=link or LinkSpec(),
+                tracer=self.tracer,
+            )
             for isp_id in range(n_isps):
                 self.net.register(f"isp{isp_id}", _IspEndpoint(self, isp_id))
             self.net.register("bank", _BankEndpoint(self))
@@ -315,6 +346,15 @@ class ZmailNetwork:
             if receipt is not None:
                 self._inc_send_status[receipt.status]()
                 self._inc_send_kind[kind]()
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        "send",
+                        src=str(sender),
+                        dst=str(recipient),
+                        kind=kind.value,
+                        status=receipt.status.value,
+                    )
                 return receipt
         return self._send_admitted(sender, recipient, kind, content)
 
@@ -336,6 +376,15 @@ class ZmailNetwork:
             receipt = self._retry_with_topup(isp, sender, recipient, kind, content)
         self._inc_send_status[receipt.status]()
         self._inc_send_kind[kind]()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "send",
+                src=str(sender),
+                dst=str(recipient),
+                kind=kind.value,
+                status=receipt.status.value,
+            )
         if receipt.letter is not None:
             self._route_letter(receipt.letter)
         return receipt
@@ -361,6 +410,9 @@ class ZmailNetwork:
             return RECEIPT_BLOCKED_BALANCE
         self._inc_topup_count()
         self._inc_topup_epennies(amount)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("topup", isp=sender.isp, user=sender.user, amount=amount)
         return isp.submit(sender.user, recipient, kind, content)
 
     # -- overload admission -------------------------------------------------------------
@@ -400,15 +452,23 @@ class ZmailNetwork:
         )
         bounced_before = controller.bounced
         decision = controller.admit(now, shed_class)
+        tracer = self.tracer
         if controller.bounced > bounced_before:  # a queued victim was evicted
-            self._inc_bounced(controller.bounced - bounced_before)
+            evicted = controller.bounced - bounced_before
+            self._inc_bounced(evicted)
+            if tracer.enabled:
+                tracer.emit("overload.bounce", isp=sender.isp, n=evicted)
         if decision == "accept":
             return None
         if decision == "shed":
             self._inc_shed()
+            if tracer.enabled:
+                tracer.emit("overload.shed", isp=sender.isp)
             return RECEIPT_SHED
         controller.defer(now, (sender, recipient, kind, content), shed_class)
         self._inc_deferred()
+        if tracer.enabled:
+            tracer.emit("overload.defer", isp=sender.isp)
         self._arm_retry(sender.isp, controller)
         return RECEIPT_DEFERRED
 
@@ -449,13 +509,18 @@ class ZmailNetwork:
                 self._retry_armed[isp_id] = now + delay
                 timer(delay, lambda: self._retry_fire(isp_id))
             return
+        tracer = self.tracer
         for outcome, item in controller.pump(now):
             if outcome == "accept":
                 sender, recipient, kind, content = item.payload
                 self._inc_retried()
+                if tracer.enabled:
+                    tracer.emit("overload.retry", isp=isp_id)
                 self._send_admitted(sender, recipient, kind, content)
             else:
                 self._inc_bounced()
+                if tracer.enabled:
+                    tracer.emit("overload.bounce", isp=isp_id, n=1)
         self._arm_retry(isp_id, controller)
 
     def overload_pending(self) -> int:
@@ -536,6 +601,15 @@ class ZmailNetwork:
         else:
             self._inc_dropped()
         self._inc_deliver_kind[letter.kind]()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "deliver",
+                src=str(letter.sender),
+                dst=str(letter.recipient),
+                kind=letter.kind.value,
+                ok=delivered,
+            )
 
     def deliver_transported(self, letter: Letter) -> None:
         """Complete delivery of a letter carried by a custom transport.
@@ -598,8 +672,10 @@ class ZmailNetwork:
                     "method='timeout'/'marker'"
                 )
             coordinator = DirectSnapshotCoordinator(self.bank, compliant)
-            report = coordinator.run()
+            with self.spans.span("snapshot.round"):
+                report = coordinator.run()
             self.last_report = report
+            self._trace_reconcile("direct", report)
             return report
         if self.net is None or self.engine is None:
             raise SimulationError(f"method {method!r} requires engine mode")
@@ -613,6 +689,7 @@ class ZmailNetwork:
             self.last_report = report
             self._active_coordinator = None
             self._bank_reply_handler = None
+            self._trace_reconcile(method, report)
 
         if method == "timeout":
             coordinator = TimeoutSnapshotCoordinator(
@@ -644,21 +721,39 @@ class ZmailNetwork:
 
     # -- time ---------------------------------------------------------------------------------
 
+    def _trace_reconcile(self, method: str, report: ReconciliationReport) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "reconcile",
+                method=method,
+                round=report.round_seq,
+                consistent=report.consistent,
+                flagged=sorted(report.flagged_isps()),
+            )
+
     def advance_day_to(self, day: int) -> None:
         """Apply midnight resets and pool rebalancing up to ``day``."""
         while self._last_day_seen < day:
             self._last_day_seen += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit("midnight", day=self._last_day_seen)
             for isp in self.compliant_isps().values():
                 isp.midnight()
             self.rebalance_pools()
 
     def note_time(self, t: float) -> None:
         """Direct-mode driver: midnight work at day boundaries, plus the
-        overload retry pump (deferred sends whose backoff expired by ``t``)."""
+        overload retry pump (deferred sends whose backoff expired by ``t``).
+
+        Also advances the direct-mode virtual clock the tracer reads, so
+        traced events carry the driver's time even with overload off.
+        """
+        if t > self._direct_now:
+            self._direct_now = t
         self.advance_day_to(int(t // DAY))
         if self._admission is not None:
-            if t > self._direct_now:
-                self._direct_now = t
             for isp_id, controller in self._admission.items():
                 due = controller.next_due()
                 if due is not None and due <= self._direct_now:
@@ -679,6 +774,7 @@ class ZmailNetwork:
                 for isp_id in isp_ids
                 if isp_id in compliant
             }
+        tracer = self.tracer
         for isp_id, isp in sorted(compliant.items()):
             deficit = isp.pool_deficit()
             if deficit > 0:
@@ -687,6 +783,10 @@ class ZmailNetwork:
                 if result.accepted:
                     isp.ledger.pool_credit(deficit)
                     self.metrics.counter("bank.buys").increment()
+                    if tracer.enabled:
+                        tracer.emit(
+                            "bank.trade", isp=isp_id, op="buy", amount=deficit
+                        )
                 continue
             surplus = isp.pool_surplus()
             if surplus > 0:
@@ -694,6 +794,10 @@ class ZmailNetwork:
                 isp.ledger.pool_debit(surplus)
                 self.bank.sell_epennies(isp_id, value=surplus, nonce=nonce)
                 self.metrics.counter("bank.sells").increment()
+                if tracer.enabled:
+                    tracer.emit(
+                        "bank.trade", isp=isp_id, op="sell", amount=surplus
+                    )
 
     # -- workload driving --------------------------------------------------------------------
 
@@ -752,6 +856,9 @@ class ZmailNetwork:
         self.send(request.sender, request.recipient, request.kind)
 
     def _engine_midnight(self) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("midnight", day=int(self.engine.now // DAY))
         for isp in self.compliant_isps().values():
             isp.midnight()
         self.rebalance_pools()

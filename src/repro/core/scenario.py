@@ -133,6 +133,12 @@ class Scenario:
     # Both settings produce identical results for the same seed.
     engine_streaming: bool = True
     link: object | None = None  # sim.LinkSpec; object to avoid hard import
+    # Observability (repro.obs): an optional TraceRecorder threaded into
+    # the deployment (every ledger event is emitted through it) and an
+    # optional SpanRegistry for wall-clock phase timing. Both default to
+    # off; tracing must not change any protocol outcome (tested).
+    tracer: object | None = None
+    spans: object | None = None
 
     def build_network(self, engine=None) -> ZmailNetwork:
         """The deployment this scenario runs on (exposed for customisation)."""
@@ -144,6 +150,8 @@ class Scenario:
             seed=self.seed,
             engine=engine,
             link=self.link,  # type: ignore[arg-type]
+            tracer=self.tracer,  # type: ignore[arg-type]
+            spans=self.spans,  # type: ignore[arg-type]
         )
 
     def _workload_streams(self, streams: SeededStreams):
@@ -201,13 +209,14 @@ class Scenario:
             self.reconcile_every if self.reconcile_every > 0 else None
         )
         attempted = 0
-        for request in requests:
-            if next_reconcile is not None and request.time >= next_reconcile:
-                reconciliations.append(network.reconcile("direct"))
-                next_reconcile += self.reconcile_every
-            network.note_time(request.time)
-            network.send(request.sender, request.recipient, request.kind)
-            attempted += 1
+        with network.spans.span("workload.batch"):
+            for request in requests:
+                if next_reconcile is not None and request.time >= next_reconcile:
+                    reconciliations.append(network.reconcile("direct"))
+                    next_reconcile += self.reconcile_every
+                network.note_time(request.time)
+                network.send(request.sender, request.recipient, request.kind)
+                attempted += 1
         network.note_time(self.duration)
         reconciliations.append(network.reconcile("direct"))
         monitor.poll()
@@ -216,7 +225,7 @@ class Scenario:
     def _run_engine(self) -> ScenarioResult:
         from ..sim.engine import Engine
 
-        engine = Engine()
+        engine = Engine(spans=self.spans)  # type: ignore[arg-type]
         network = self.build_network(engine=engine)
         monitor = ZombieMonitor(network)
         for spec in self.spammers:

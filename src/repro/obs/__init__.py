@@ -1,0 +1,74 @@
+"""Unified observability: event tracing, span timing, metrics, manifests.
+
+Four pieces, one discipline (virtual time in digests, wall clock never):
+
+* :mod:`~repro.obs.trace` — the structured event bus. Near-zero cost
+  when disabled; canonical JSONL + incremental stream digest when on.
+* :mod:`~repro.obs.spans` — wall-clock span timing for profiling, kept
+  strictly out of every digest.
+* :mod:`~repro.obs.metrics_export` — one namespaced registry over all
+  ad-hoc metrics, dumpable as JSON (``repro metrics``).
+* :mod:`~repro.obs.manifest` — the run identity card: seed, config
+  digest, format versions, event/metric digests.
+
+``repro trace`` runs the canonical scenario in :mod:`~repro.obs.canonical`
+and writes the JSONL trace plus its manifest; two same-seed runs produce
+byte-identical files (CI compares them with ``cmp``).
+"""
+
+from .manifest import (
+    MANIFEST_FORMAT_VERSION,
+    RunManifest,
+    build_manifest,
+    config_digest,
+)
+from .metrics_export import (
+    METRICS_FORMAT_VERSION,
+    MetricsExporter,
+    export_deployment,
+    export_network,
+)
+from .schema import (
+    EVENT_TYPES,
+    LEDGER_EVENT_TYPES,
+    TraceSchemaError,
+    validate_event,
+    validate_trace_lines,
+)
+from .spans import NULL_SPANS, SpanRegistry
+from .trace import (
+    NULL_TRACER,
+    TRACE_FORMAT_VERSION,
+    JsonlSink,
+    ListSink,
+    RingSink,
+    TraceRecorder,
+    canonical_line,
+    multiset_digest,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "METRICS_FORMAT_VERSION",
+    "MANIFEST_FORMAT_VERSION",
+    "TraceRecorder",
+    "RingSink",
+    "ListSink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "canonical_line",
+    "multiset_digest",
+    "SpanRegistry",
+    "NULL_SPANS",
+    "MetricsExporter",
+    "export_network",
+    "export_deployment",
+    "RunManifest",
+    "build_manifest",
+    "config_digest",
+    "EVENT_TYPES",
+    "LEDGER_EVENT_TYPES",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_trace_lines",
+]

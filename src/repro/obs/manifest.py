@@ -1,0 +1,130 @@
+"""Run manifests: the identity card that makes two runs comparable.
+
+A manifest pins everything that *should* determine a run's observable
+behaviour (seed, config digest, format versions) next to digests of what
+the run actually produced (event stream, metrics). Two runs are
+byte-for-byte comparable iff their manifests are equal; a mismatch tells
+you *which* layer diverged (config? events? metrics?) before you diff a
+single trace line.
+
+Digest discipline: :meth:`RunManifest.digest` is computed over the
+sorted-key canonical serialization, so it is **order-insensitive** with
+respect to dict insertion order in ``extra`` and construction order of
+fields — only the name→value mapping matters (property-tested). Wall
+clock never appears in a manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from .metrics_export import METRICS_FORMAT_VERSION
+from .trace import TRACE_FORMAT_VERSION
+
+__all__ = ["MANIFEST_FORMAT_VERSION", "RunManifest", "config_digest", "build_manifest"]
+
+#: Bumped when manifest fields or their digest definition change.
+MANIFEST_FORMAT_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce config values to JSON-stable forms (enums → their value)."""
+    if hasattr(value, "value") and not isinstance(value, (int, float, str, bool)):
+        return value.value
+    return value
+
+
+def config_digest(config) -> str:
+    """SHA-256 over a config dataclass's canonical field mapping (hex).
+
+    Field order does not matter (keys are sorted); enum fields hash by
+    their ``.value`` so renaming an enum *class* is not a config change
+    but changing a policy is.
+    """
+    payload = {
+        name: _jsonable(value)
+        for name, value in dataclasses.asdict(config).items()
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to decide whether two runs are the same run."""
+
+    seed: int
+    config_digest: str
+    event_count: int
+    event_digest: str
+    metrics_digest: str
+    trace_format_version: int = TRACE_FORMAT_VERSION
+    metrics_format_version: int = METRICS_FORMAT_VERSION
+    manifest_format_version: int = MANIFEST_FORMAT_VERSION
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """A plain dict with ``extra`` flattened under ``extra.``."""
+        doc: dict[str, object] = {
+            "seed": self.seed,
+            "config_digest": self.config_digest,
+            "event_count": self.event_count,
+            "event_digest": self.event_digest,
+            "metrics_digest": self.metrics_digest,
+            "trace_format_version": self.trace_format_version,
+            "metrics_format_version": self.metrics_format_version,
+            "manifest_format_version": self.manifest_format_version,
+        }
+        for name, value in self.extra.items():
+            doc[f"extra.{name}"] = value
+        return doc
+
+    def to_json(self) -> str:
+        """Pretty, sorted serialization (ends with a newline) — the byte
+        form ``repro trace`` writes and CI compares with ``cmp``."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical (sorted, compact) manifest bytes."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Parse :meth:`to_json` output back into a manifest."""
+        doc = json.loads(text)
+        extra = {
+            name.removeprefix("extra."): value
+            for name, value in doc.items()
+            if name.startswith("extra.")
+        }
+        return cls(
+            seed=doc["seed"],
+            config_digest=doc["config_digest"],
+            event_count=doc["event_count"],
+            event_digest=doc["event_digest"],
+            metrics_digest=doc["metrics_digest"],
+            trace_format_version=doc["trace_format_version"],
+            metrics_format_version=doc["metrics_format_version"],
+            manifest_format_version=doc["manifest_format_version"],
+            extra=extra,
+        )
+
+
+def build_manifest(
+    *, seed: int, config, recorder, exporter, extra: dict[str, object] | None = None
+) -> RunManifest:
+    """Assemble a manifest from a finished run's recorder and exporter."""
+    return RunManifest(
+        seed=seed,
+        config_digest=config_digest(config),
+        event_count=recorder.events_emitted,
+        event_digest=recorder.digest(),
+        metrics_digest=exporter.digest(),
+        extra=dict(extra) if extra else {},
+    )

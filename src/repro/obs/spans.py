@@ -1,0 +1,136 @@
+"""Wall-clock span timing, kept strictly out of the trace digests.
+
+Traces (:mod:`repro.obs.trace`) are byte-reproducible because they carry
+virtual time only. Profiling still needs wall time — how long a snapshot
+round, a transfer batch or an SMTP session actually took — so spans live
+in their own registry that is *never* folded into any digest or manifest
+field that two runs are compared on.
+
+Usage::
+
+    spans = SpanRegistry()
+    with spans.span("snapshot.round"):
+        coordinator.run()
+    spans.stats()["snapshot.round"]["total"]   # seconds
+
+A disabled registry hands out a shared no-op context manager, so
+instrumented code pays one dict-free call on the disabled path.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable
+
+__all__ = ["SpanRegistry", "NULL_SPANS"]
+
+
+class _SpanStats:
+    """Accumulated timings for one span name."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+
+class _Span:
+    """Context manager timing one span occurrence."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "SpanRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._registry._timer()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.record(
+            self._name, self._registry._timer() - self._start
+        )
+
+
+class _NullSpan:
+    """The shared no-op span a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanRegistry:
+    """Names → accumulated wall-clock timings.
+
+    Args:
+        enabled: A disabled registry hands out a no-op span and records
+            nothing.
+        timer: Clock used for spans; injectable for deterministic tests
+            (defaults to :func:`time.perf_counter`).
+    """
+
+    __slots__ = ("enabled", "_timer", "_stats")
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        timer: Callable[[], float] = perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._timer = timer
+        self._stats: dict[str, _SpanStats] = {}
+
+    def span(self, name: str):
+        """A context manager timing one occurrence of ``name``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record one timed occurrence directly (span-free callers)."""
+        if not self.enabled:
+            return
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = _SpanStats()
+            self._stats[name] = stats
+        stats.add(seconds)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """``{name: {count, total, min, max, mean}}`` for all spans seen."""
+        out: dict[str, dict[str, float]] = {}
+        for name, stats in sorted(self._stats.items()):
+            out[name] = {
+                "count": stats.count,
+                "total": stats.total,
+                "min": stats.min if stats.count else 0.0,
+                "max": stats.max,
+                "mean": stats.total / stats.count if stats.count else 0.0,
+            }
+        return out
+
+
+#: Shared disabled registry, the default for every instrumented component.
+NULL_SPANS = SpanRegistry(enabled=False)

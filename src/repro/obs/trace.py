@@ -1,0 +1,255 @@
+"""The structured event bus: virtual-time-stamped trace recording.
+
+A :class:`TraceRecorder` is the single funnel every subsystem emits
+through. Each event becomes one canonical JSON line — keys sorted,
+compact separators — so the byte stream for a given run is a pure
+function of the seed. The recorder maintains an incremental SHA-256
+digest over those lines regardless of which sink (if any) retains them,
+which is what makes the trace usable as a test oracle: two runs agree
+iff their digests agree, without holding either trace in memory.
+
+Cost model (DESIGN.md §Observability): every emit site in the hot path
+is guarded with ``if tracer.enabled:`` so the disabled path is one
+attribute load and a branch — no argument packing, no allocation. The
+macro benchmark (``benchmarks/bench_obs.py``) pins the disabled-path
+overhead under the 3% budget.
+
+Timestamps are **virtual time only**. Wall-clock profiling lives in
+:mod:`repro.obs.spans` and is deliberately kept out of every digest so
+traces stay byte-reproducible across machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Callable, Iterable
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceRecorder",
+    "RingSink",
+    "ListSink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "canonical_line",
+    "multiset_digest",
+]
+
+#: Bumped whenever the line encoding or the digest definition changes, so
+#: manifests from incompatible versions never compare equal by accident.
+TRACE_FORMAT_VERSION = 1
+
+
+def canonical_line(event: dict) -> str:
+    """The one true encoding of an event: sorted keys, compact separators.
+
+    Every digest in this package is defined over these bytes; any other
+    serialization of the same event is a display convenience only.
+    """
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class RingSink:
+    """Bounded in-memory retention: keeps the newest ``bound`` lines.
+
+    The ring never exceeds its bound (property-tested); older lines fall
+    off the front. The recorder's digest still covers *every* emitted
+    event — the ring bounds memory, not the oracle.
+    """
+
+    __slots__ = ("_lines",)
+
+    def __init__(self, bound: int = 4096) -> None:
+        if bound <= 0:
+            raise ValueError(f"ring bound must be positive, got {bound}")
+        self._lines: deque[str] = deque(maxlen=bound)
+
+    @property
+    def bound(self) -> int:
+        """The retention limit this ring was created with."""
+        return self._lines.maxlen  # type: ignore[return-value]
+
+    def accept(self, line: str) -> None:
+        """Retain one canonical line (evicting the oldest at the bound)."""
+        self._lines.append(line)
+
+    def lines(self) -> list[str]:
+        """The retained lines, oldest first."""
+        return list(self._lines)
+
+    def events(self) -> list[dict]:
+        """The retained lines parsed back into event dicts."""
+        return [json.loads(line) for line in self._lines]
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class ListSink:
+    """Unbounded in-memory retention, for tests and the CLI.
+
+    Use :class:`RingSink` anywhere memory must stay bounded; this sink
+    exists for short runs whose full trace is wanted afterwards.
+    """
+
+    __slots__ = ("_lines",)
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+
+    def accept(self, line: str) -> None:
+        self._lines.append(line)
+
+    def lines(self) -> list[str]:
+        return list(self._lines)
+
+    def events(self) -> list[dict]:
+        return [json.loads(line) for line in self._lines]
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class JsonlSink:
+    """Streams canonical lines to a file (JSONL), one event per line.
+
+    Accepts a path or any object with ``write``. Paths are opened for
+    writing immediately and closed by :meth:`close`; caller-supplied
+    file objects are flushed but never closed.
+    """
+
+    __slots__ = ("_file", "_owns")
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def accept(self, line: str) -> None:
+        self._file.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush, and close the file if this sink opened it."""
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceRecorder:
+    """The event bus: timestamps, sequences, digests and fans out events.
+
+    Args:
+        sink: Optional retention (:class:`RingSink`, :class:`ListSink`,
+            :class:`JsonlSink`, or anything with ``accept(line)``). The
+            stream digest is maintained whether or not a sink is set.
+        clock: Zero-argument virtual-time source. Subsystems that own a
+            clock (the engine, the direct-mode network driver) install
+            one on attachment if none is set; events emitted with no
+            clock carry ``t=0.0``.
+        enabled: When ``False`` every :meth:`emit` is a no-op. Emit
+            sites additionally guard on :attr:`enabled` themselves so
+            the disabled hot path never packs arguments.
+    """
+
+    __slots__ = ("enabled", "clock", "sink", "events_emitted", "_seq", "_hash")
+
+    def __init__(
+        self,
+        *,
+        sink=None,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.sink = sink
+        self.events_emitted = 0
+        self._seq = 0
+        self._hash = hashlib.sha256()
+
+    def emit(self, etype: str, **fields) -> None:
+        """Record one event of type ``etype`` at the current virtual time."""
+        if not self.enabled:
+            return
+        clock = self.clock
+        self._emit_at(clock() if clock is not None else 0.0, etype, fields)
+
+    def emit_at(self, t: float, etype: str, **fields) -> None:
+        """Record one event with an explicit timestamp.
+
+        For layers with no virtual clock of their own (the asyncio SMTP
+        server) — the caller supplies whatever deterministic time it has.
+        """
+        if not self.enabled:
+            return
+        self._emit_at(t, etype, fields)
+
+    def _emit_at(self, t: float, etype: str, fields: dict) -> None:
+        self._seq += 1
+        event = {"t": t, "seq": self._seq, "type": etype}
+        if fields:
+            event.update(fields)
+        line = canonical_line(event)
+        self._hash.update(line.encode("utf-8"))
+        self._hash.update(b"\n")
+        self.events_emitted += 1
+        sink = self.sink
+        if sink is not None:
+            sink.accept(line)
+
+    def digest(self) -> str:
+        """SHA-256 over every canonical line emitted so far (hex)."""
+        return self._hash.hexdigest()
+
+
+#: Shared disabled recorder: components default to this so ``tracer`` is
+#: never ``None`` and the guard is always a plain attribute check. Never
+#: mutate it (it is shared); pass a real recorder to enable tracing.
+NULL_TRACER = TraceRecorder(enabled=False)
+
+
+def multiset_digest(
+    events: Iterable[dict | str],
+    *,
+    include_types: Iterable[str] | None = None,
+    exclude_fields: tuple[str, ...] = ("t", "seq"),
+) -> str:
+    """Order-insensitive digest of a set of events.
+
+    Each event (a dict, or a canonical line to parse) is reduced to its
+    canonical bytes minus ``exclude_fields`` — by default the timestamp
+    and sequence number, so two runs that produced the *same set of
+    things at different times or interleavings* still compare equal.
+    Per-event hashes are sorted before the final digest, making the
+    result independent of event order (this is the documented
+    order-insensitive digest the property tests pin down).
+
+    ``include_types`` restricts the digest to a subset of event types —
+    the chaos differential test uses it to compare only ledger events.
+    """
+    wanted = frozenset(include_types) if include_types is not None else None
+    per_event: list[str] = []
+    for item in events:
+        event = json.loads(item) if isinstance(item, str) else dict(item)
+        if wanted is not None and event.get("type") not in wanted:
+            continue
+        for name in exclude_fields:
+            event.pop(name, None)
+        digest = hashlib.sha256(canonical_line(event).encode("utf-8"))
+        per_event.append(digest.hexdigest())
+    per_event.sort()
+    rollup = hashlib.sha256()
+    for digest_hex in per_event:
+        rollup.update(digest_hex.encode("ascii"))
+    return rollup.hexdigest()

@@ -22,6 +22,17 @@ __all__ = ["Counter", "TimeSeries", "Histogram", "MetricsRegistry", "summary_sta
 def summary_stats(values: Iterable[float]) -> dict[str, float]:
     """Compute count/mean/min/max/stddev for a sequence of values.
 
+    ``stddev`` is the **population** standard deviation (divisor ``n``,
+    like ``numpy.std`` with default ``ddof=0``), not the ``n - 1`` sample
+    estimator: the inputs here are complete enumerations of what a
+    deterministic run produced (every user's net flow, every latency),
+    not samples from a larger population, so there is no estimator bias
+    to correct. Callers doing inference across *seeds* should use
+    :func:`repro.economics.sensitivity.mean_ci`, which deliberately uses
+    the ``n - 1`` sample variance. This is the only stddev
+    implementation in the repo — benchmarks must report spread through
+    this function rather than reimplementing it.
+
     Returns zeros for an empty sequence rather than raising, so callers can
     report on experiments that produced no samples.
     """

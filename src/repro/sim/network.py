@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from ..errors import SimulationError
+from ..obs.trace import NULL_TRACER, TraceRecorder
 from .engine import Engine
 from .rng import SeededStreams
 
@@ -79,9 +80,13 @@ class Network:
         streams: SeededStreams,
         *,
         default_link: LinkSpec | None = None,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         self.engine = engine
         self._streams = streams
+        # Observability: loss-rate drops emit a ``net.drop`` event; the
+        # guard keeps the per-message cost at one attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._default_link = default_link or LinkSpec()
         self._endpoints: dict[str, Endpoint] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
@@ -164,6 +169,9 @@ class Network:
 
         if spec.loss_rate > 0 and stream.random() < spec.loss_rate:
             self.messages_dropped += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit("net.drop", src=src, dst=dst)
             return
 
         delay = spec.base_latency

@@ -120,6 +120,9 @@ class ZmailGateway:
         self.overload = overload
         self._clock = clock
         self._now = 0.0
+        # Trace through the shared network's recorder so gateway events
+        # interleave with the accounting events they cause.
+        self.tracer = network.tracer
         self._admission: AdmissionController | None = None
         if overload is not None:
             self._admission = AdmissionController(f"gateway{isp_id}", overload)
@@ -180,9 +183,16 @@ class ZmailGateway:
                 kind, paid=self.network.bank.is_compliant(recipient.isp)
             )
             verdict = self._admission.admit(now, shed_class)
+            tracer = self.tracer
             if verdict == "shed":
                 self.shed_sends += 1
                 self._m["shed"]()
+                if tracer.enabled:
+                    tracer.emit(
+                        "gateway.submit",
+                        sender=str(Address(self.isp_id, sender_user)),
+                        status=SendStatus.SHED.value,
+                    )
                 return SendStatus.SHED
             if verdict == "defer":
                 self.deferred_sends += 1
@@ -191,6 +201,12 @@ class ZmailGateway:
                     now, (sender_user, recipient, message, list_token),
                     shed_class,
                 )
+                if tracer.enabled:
+                    tracer.emit(
+                        "gateway.submit",
+                        sender=str(Address(self.isp_id, sender_user)),
+                        status=SendStatus.DEFERRED.value,
+                    )
                 return SendStatus.DEFERRED
         return self._submit_admitted(
             sender_user, recipient, message, list_token=list_token, kind=kind
@@ -209,6 +225,13 @@ class ZmailGateway:
         receipt = self.network.send(
             Address(self.isp_id, sender_user), recipient, kind
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gateway.submit",
+                sender=str(Address(self.isp_id, sender_user)),
+                status=receipt.status.value,
+            )
         if receipt.status.blocked or receipt.status is SendStatus.BUFFERED:
             self.rejected_sends += 1
             self._m["rejected_sends"]()
@@ -278,6 +301,11 @@ class ZmailGateway:
         self.bounced_sends += 1
         self._m["bounced"]()
         sender_user, recipient, original, _token = item.payload
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gateway.bounce", recipient=str(from_sim_address(recipient))
+            )
         sender_address = str(from_sim_address(Address(self.isp_id, sender_user)))
         notice = MailMessage.compose(
             sender=f"mailer-daemon@{self.domain}",
@@ -346,22 +374,29 @@ class ZmailGateway:
         sender = to_sim_address(envelope.mail_from)
         stamp = read_stamp(envelope.message)
 
+        tracer = self.tracer
         # A stamp asserting a different origin than the envelope is forged.
         if stamp is not None and stamp.sender_isp != f"isp{sender.isp}":
             self.forged_rejected += 1
             self._m["forged_rejected"]()
+            if tracer.enabled:
+                tracer.emit("gateway.inbound", outcome="forged")
             return False
 
         if is_ack(envelope.message):
             # §5: acks are processed automatically, never delivered.
             self.acks_absorbed += 1
             self._m["acks_absorbed"]()
+            if tracer.enabled:
+                tracer.emit("gateway.inbound", outcome="ack")
             return True
 
         paid = self.network.bank.is_compliant(sender.isp)
         folder = "inbox" if paid else "junk"
         self._file(recipient.user, envelope, paid=paid, folder=folder)
         self._m["delivered_inbound"]()
+        if tracer.enabled:
+            tracer.emit("gateway.inbound", outcome=folder)
 
         if stamp is not None and stamp.list_token is not None:
             self._auto_ack(recipient, envelope)

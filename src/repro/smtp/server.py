@@ -20,6 +20,8 @@ import asyncio
 from typing import Awaitable, Callable
 
 from ..errors import SMTPProtocolError
+from ..obs.spans import NULL_SPANS, SpanRegistry
+from ..obs.trace import NULL_TRACER, TraceRecorder
 from .address import parse_address
 from .message import MailMessage
 from .transport import Envelope
@@ -52,6 +54,12 @@ class SMTPServer:
         admission: Optional gate consulted at MAIL time; returning
             ``False`` temp-fails the transaction with ``451`` (counted in
             :attr:`mail_tempfailed`), the SMTP face of admission control.
+        tracer: Structured trace recorder; sessions emit
+            ``smtp.session`` events. The server has no virtual clock, so
+            events carry whatever clock the recorder was given (``t=0``
+            for a bare recorder).
+        spans: Wall-clock span registry; each session's lifetime is
+            recorded under the ``smtp.session`` span.
 
     Example (see ``examples/smtp_demo.py`` for a full round-trip)::
 
@@ -71,11 +79,15 @@ class SMTPServer:
         max_session_commands: int = 1000,
         max_session_errors: int = 20,
         admission: Callable[[], bool] | None = None,
+        tracer: TraceRecorder | None = None,
+        spans: SpanRegistry | None = None,
     ) -> None:
         if max_connections < 1 or max_session_commands < 1 or max_session_errors < 1:
             raise ValueError("SMTP server budgets must be at least 1")
         self._handler = handler
         self.hostname = hostname
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.spans = spans if spans is not None else NULL_SPANS
         self._rcpt_checker = rcpt_checker
         self._server: asyncio.AbstractServer | None = None
         self.max_connections = max_connections
@@ -110,6 +122,8 @@ class SMTPServer:
     ) -> None:
         if self._active_sessions >= self.max_connections:
             self.connections_rejected += 1
+            if self.tracer.enabled:
+                self.tracer.emit("smtp.session", outcome="rejected")
             try:
                 writer.write(
                     f"421 {self.hostname} too many connections, "
@@ -128,11 +142,15 @@ class SMTPServer:
         self._active_sessions += 1
         self.sessions_served += 1
         session = _Session(self, reader, writer)
+        outcome = "served"
         try:
-            await session.run()
+            with self.spans.span("smtp.session"):
+                await session.run()
         except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+            outcome = "aborted"
         finally:
+            if self.tracer.enabled:
+                self.tracer.emit("smtp.session", outcome=outcome)
             self._active_sessions -= 1
             writer.close()
             try:

@@ -20,6 +20,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.chaos import ChaosDeployment, CrashEvent, FaultSpec
 from repro.core import ZmailConfig
+from repro.obs.schema import LEDGER_EVENT_TYPES
+from repro.obs.trace import ListSink, TraceRecorder, multiset_digest
 from repro.sim import SeededStreams
 from repro.sim.rng import derive_seed
 from repro.sim.workload import NormalUserWorkload
@@ -42,7 +44,7 @@ FAULTS = st.fixed_dictionaries({
 })
 
 
-def run_deployment(seed, faults, crashes=(), duration=120.0):
+def run_deployment(seed, faults, crashes=(), duration=120.0, tracer=None):
     deployment = ChaosDeployment(
         n_isps=2,
         users_per_isp=3,
@@ -50,6 +52,7 @@ def run_deployment(seed, faults, crashes=(), duration=120.0):
         config=ZmailConfig(default_user_balance=1000, auto_topup_amount=0),
         faults=FaultSpec(**faults),
         monitor_interval=2.0,
+        tracer=tracer,
     )
     for crash in crashes:
         deployment.schedule_crash(crash)
@@ -110,6 +113,60 @@ def test_fault_mix_with_crash_restart_preserves_invariants(
     network = deployment.network
     assert network.total_value() == network.expected_total_value(), (
         f"value not conserved; {replay}"
+    )
+
+
+def _ledger_trace_digest(seed, faults, crashes=()):
+    """The order-insensitive digest over the run's ledger-visible events."""
+    sink = ListSink()
+    deployment, converged = run_deployment(
+        seed, faults, crashes=crashes, tracer=TraceRecorder(sink=sink)
+    )
+    assert converged, f"did not drain; seed={seed} faults={faults}"
+    assert deployment.monitor.green, deployment.monitor.first_violation
+    return multiset_digest(sink.lines(), include_types=LEDGER_EVENT_TYPES)
+
+
+def test_ledger_trace_differential_faults_are_invisible():
+    """Differential oracle: faults leave no trace in the *ledger* events.
+
+    Under the reliable layer, the multiset of send/deliver/topup/trade
+    events (timestamps and interleaving excluded) from a heavily faulty
+    run must be identical to the fault-free run of the same seed — the
+    wire chaos is fully absorbed below the accounting.
+    """
+    clean = _ledger_trace_digest(7, {})
+    faulty = _ledger_trace_digest(
+        7,
+        {
+            "drop_rate": 0.25,
+            "duplicate_rate": 0.2,
+            "reorder_rate": 0.2,
+            "reorder_delay": 2.0,
+        },
+    )
+    assert faulty == clean, (
+        "fault injection changed the ledger-event multiset: the reliable "
+        "layer leaked wire faults into the accounting"
+    )
+
+
+def test_ledger_trace_differential_crash_recovery_is_complete():
+    """Post-recovery, a crashy run's ledger events match the clean run.
+
+    A crash loses volatile state only; journals plus retransmission must
+    reconstruct every accounting action — so the recovered run's ledger
+    trace digest equals the fault-free one.
+    """
+    clean = _ledger_trace_digest(11, {})
+    crashy = _ledger_trace_digest(
+        11,
+        {"drop_rate": 0.1, "duplicate_rate": 0.1},
+        crashes=[CrashEvent(node="isp1", at=30.0, down_for=20.0)],
+    )
+    assert crashy == clean, (
+        "crash/restart changed the ledger-event multiset: recovery lost "
+        "or duplicated accounting actions"
     )
 
 

@@ -83,3 +83,56 @@ class TestExtendedCommands:
         assert main(["audit", "--mint", "0"]) == 0
         out = capsys.readouterr().out
         assert "all clear" in out
+
+
+class TestTraceCommand:
+    def test_trace_prints_digests(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "event digest:" in out
+        assert "manifest digest:" in out
+        assert "conserved:       True" in out
+
+    def test_trace_writes_schema_valid_jsonl_and_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+        from repro.obs.schema import validate_trace_lines
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        lines = out_path.read_text().splitlines()
+        assert validate_trace_lines(lines) == len(lines) > 0
+        manifest = RunManifest.from_json(
+            (tmp_path / "trace.jsonl.manifest.json").read_text()
+        )
+        assert manifest.event_count == len(lines)
+
+    def test_trace_same_seed_byte_identical_files(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["trace", "--seed", "5", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        manifests = [
+            (tmp_path / f"{p.name}.manifest.json").read_bytes() for p in paths
+        ]
+        assert manifests[0] == manifests[1]
+
+    def test_trace_tail_prints_lines(self, capsys):
+        assert main(["trace", "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        json_lines = [l for l in out.splitlines() if l.startswith("{")]
+        assert len(json_lines) == 3
+
+    def test_metrics_dumps_sorted_export(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["metrics", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics digest:" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["format_version"] == 1
+        names = list(doc["metrics"])
+        assert names == sorted(names)
+        assert "zmail.deliver.delivered" in doc["metrics"]

@@ -1,0 +1,258 @@
+"""Unit tests for the trace recorder, sinks, spans and event schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    EVENT_TYPES,
+    LEDGER_EVENT_TYPES,
+    TraceSchemaError,
+    validate_event,
+    validate_trace_lines,
+)
+from repro.obs.spans import NULL_SPANS, SpanRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    RingSink,
+    TraceRecorder,
+    canonical_line,
+    multiset_digest,
+)
+
+
+class TestCanonicalLine:
+    def test_sorted_compact(self):
+        assert canonical_line({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_key_order_irrelevant(self):
+        assert canonical_line({"x": 1, "y": 2}) == canonical_line({"y": 2, "x": 1})
+
+
+class TestTraceRecorder:
+    def test_emit_assigns_sequence_and_time(self):
+        sink = ListSink()
+        recorder = TraceRecorder(sink=sink, clock=lambda: 42.5)
+        recorder.emit("crash", node="isp0")
+        recorder.emit("restart", node="isp0")
+        events = sink.events()
+        assert [e["seq"] for e in events] == [1, 2]
+        assert all(e["t"] == 42.5 for e in events)
+        assert recorder.events_emitted == 2
+
+    def test_no_clock_stamps_zero(self):
+        sink = ListSink()
+        recorder = TraceRecorder(sink=sink)
+        recorder.emit("crash", node="bank")
+        assert sink.events()[0]["t"] == 0.0
+
+    def test_emit_at_explicit_time(self):
+        sink = ListSink()
+        recorder = TraceRecorder(sink=sink, clock=lambda: 1.0)
+        recorder.emit_at(99.0, "crash", node="bank")
+        assert sink.events()[0]["t"] == 99.0
+
+    def test_disabled_emits_nothing(self):
+        sink = ListSink()
+        recorder = TraceRecorder(sink=sink, enabled=False)
+        recorder.emit("crash", node="isp0")
+        recorder.emit_at(1.0, "crash", node="isp0")
+        assert len(sink) == 0
+        assert recorder.events_emitted == 0
+
+    def test_digest_tracks_lines_without_a_sink(self):
+        with_sink = TraceRecorder(sink=ListSink(), clock=lambda: 1.0)
+        sinkless = TraceRecorder(clock=lambda: 1.0)
+        for recorder in (with_sink, sinkless):
+            recorder.emit("crash", node="isp1")
+            recorder.emit("restart", node="isp1")
+        assert with_sink.digest() == sinkless.digest()
+
+    def test_digest_differs_on_any_field_change(self):
+        a = TraceRecorder()
+        b = TraceRecorder()
+        a.emit("crash", node="isp0")
+        b.emit("crash", node="isp1")
+        assert a.digest() != b.digest()
+
+    def test_null_tracer_is_shared_and_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.clock is None
+        NULL_TRACER.emit("crash", node="x")
+        assert NULL_TRACER.events_emitted == 0
+
+
+class TestSinks:
+    def test_ring_keeps_newest(self):
+        ring = RingSink(bound=3)
+        recorder = TraceRecorder(sink=ring)
+        for node in "abcde":
+            recorder.emit("crash", node=node)
+        assert len(ring) == 3
+        assert [e["node"] for e in ring.events()] == ["c", "d", "e"]
+        assert [json.loads(line)["node"] for line in ring.lines()] == ["c", "d", "e"]
+        assert ring.bound == 3
+
+    def test_ring_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="bound"):
+            RingSink(bound=0)
+
+    def test_ring_eviction_does_not_change_digest(self):
+        bounded = TraceRecorder(sink=RingSink(bound=2))
+        unbounded = TraceRecorder(sink=ListSink())
+        for recorder in (bounded, unbounded):
+            for node in "abcd":
+                recorder.emit("crash", node=node)
+        assert bounded.digest() == unbounded.digest()
+
+    def test_jsonl_sink_writes_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            recorder = TraceRecorder(sink=sink, clock=lambda: 2.0)
+            recorder.emit("crash", node="isp0")
+            recorder.emit("restart", node="isp0")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert validate_trace_lines(lines) == 2
+
+    def test_jsonl_sink_does_not_close_caller_file(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        TraceRecorder(sink=sink).emit("crash", node="bank")
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["node"] == "bank"
+
+
+class TestMultisetDigest:
+    def test_order_insensitive(self):
+        events = [
+            {"t": 1.0, "seq": 1, "type": "send", "src": "a", "dst": "b"},
+            {"t": 2.0, "seq": 2, "type": "deliver", "src": "a", "dst": "b"},
+        ]
+        assert multiset_digest(events) == multiset_digest(list(reversed(events)))
+
+    def test_time_and_seq_excluded_by_default(self):
+        early = [{"t": 1.0, "seq": 1, "type": "send", "src": "a"}]
+        late = [{"t": 9.0, "seq": 7, "type": "send", "src": "a"}]
+        assert multiset_digest(early) == multiset_digest(late)
+
+    def test_multiplicity_matters(self):
+        one = [{"t": 0, "seq": 1, "type": "send", "src": "a"}]
+        two = one + [{"t": 0, "seq": 2, "type": "send", "src": "a"}]
+        assert multiset_digest(one) != multiset_digest(two)
+
+    def test_include_types_filters(self):
+        events = [
+            {"t": 0, "seq": 1, "type": "send", "src": "a"},
+            {"t": 0, "seq": 2, "type": "net.drop", "src": "a", "dst": "b"},
+        ]
+        ledger_only = multiset_digest(events, include_types=LEDGER_EVENT_TYPES)
+        assert ledger_only == multiset_digest(
+            events[:1], include_types=LEDGER_EVENT_TYPES
+        )
+        assert ledger_only != multiset_digest(events)
+
+    def test_accepts_canonical_lines(self):
+        event = {"t": 0.5, "seq": 1, "type": "crash", "node": "bank"}
+        assert multiset_digest([event]) == multiset_digest([canonical_line(event)])
+
+
+class TestSchema:
+    def test_every_type_has_nonempty_requirements_documented(self):
+        assert LEDGER_EVENT_TYPES <= set(EVENT_TYPES)
+        for etype, required in EVENT_TYPES.items():
+            assert isinstance(required, frozenset), etype
+
+    def test_valid_event_passes(self):
+        validate_event(
+            {"t": 0.0, "seq": 1, "type": "send",
+             "src": "a", "dst": "b", "kind": "normal", "status": "ok"}
+        )
+
+    def test_extra_fields_allowed(self):
+        validate_event(
+            {"t": 0.0, "seq": 1, "type": "crash", "node": "bank",
+             "annotation": "anything"}
+        )
+
+    @pytest.mark.parametrize("missing", ["t", "seq", "type"])
+    def test_envelope_required(self, missing):
+        event = {"t": 0.0, "seq": 1, "type": "crash", "node": "bank"}
+        del event[missing]
+        with pytest.raises(TraceSchemaError, match="envelope|unknown"):
+            validate_event(event)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceSchemaError, match="time"):
+            validate_event({"t": -1.0, "seq": 1, "type": "crash", "node": "b"})
+
+    def test_boolean_time_rejected(self):
+        with pytest.raises(TraceSchemaError, match="time"):
+            validate_event({"t": True, "seq": 1, "type": "crash", "node": "b"})
+
+    @pytest.mark.parametrize("seq", [0, -3, True, "1"])
+    def test_invalid_seq_rejected(self, seq):
+        with pytest.raises(TraceSchemaError, match="seq"):
+            validate_event({"t": 0.0, "seq": seq, "type": "crash", "node": "b"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown event type"):
+            validate_event({"t": 0.0, "seq": 1, "type": "frobnicate"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(TraceSchemaError, match="missing required"):
+            validate_event({"t": 0.0, "seq": 1, "type": "send", "src": "a"})
+
+    def test_lines_must_increase_seq(self):
+        lines = [
+            canonical_line({"t": 0.0, "seq": 2, "type": "crash", "node": "a"}),
+            canonical_line({"t": 0.0, "seq": 1, "type": "crash", "node": "a"}),
+        ]
+        with pytest.raises(TraceSchemaError, match="strictly increasing"):
+            validate_trace_lines(lines)
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unparseable"):
+            validate_trace_lines(["{not json"])
+
+    def test_blank_lines_skipped(self):
+        line = canonical_line({"t": 0.0, "seq": 1, "type": "crash", "node": "a"})
+        assert validate_trace_lines(["", line, "  "]) == 1
+
+
+class TestSpans:
+    def test_records_with_injected_timer(self):
+        ticks = iter([10.0, 13.0, 20.0, 21.0])
+        spans = SpanRegistry(timer=lambda: next(ticks))
+        with spans.span("work"):
+            pass
+        with spans.span("work"):
+            pass
+        stats = spans.stats()["work"]
+        assert stats["count"] == 2
+        assert stats["total"] == pytest.approx(4.0)
+        assert stats["min"] == pytest.approx(1.0)
+        assert stats["max"] == pytest.approx(3.0)
+        assert stats["mean"] == pytest.approx(2.0)
+
+    def test_disabled_registry_records_nothing(self):
+        spans = SpanRegistry(enabled=False)
+        with spans.span("work"):
+            pass
+        spans.record("work", 1.0)
+        assert spans.stats() == {}
+
+    def test_null_spans_shared_noop(self):
+        assert NULL_SPANS.enabled is False
+        with NULL_SPANS.span("anything"):
+            pass
+        assert NULL_SPANS.stats() == {}
+
+    def test_direct_record(self):
+        spans = SpanRegistry()
+        spans.record("x", 0.25)
+        assert spans.stats()["x"]["total"] == pytest.approx(0.25)

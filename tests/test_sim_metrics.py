@@ -26,6 +26,21 @@ class TestSummaryStats:
         assert stats["max"] == 3.0
         assert stats["stddev"] == pytest.approx((2.0 / 3.0) ** 0.5)
 
+    def test_stddev_is_population_not_sample(self):
+        # [2, 4, 4, 4, 5, 5, 7, 9] is the textbook known-variance set:
+        # mean 5, population variance exactly 4 (stddev 2). The sample
+        # (n-1) estimator would give sqrt(32/7) ≈ 2.138 — this test pins
+        # the documented divisor-n choice and fails if anyone "fixes" it.
+        stats = summary_stats([2, 4, 4, 4, 5, 5, 7, 9])
+        assert stats["mean"] == pytest.approx(5.0)
+        assert stats["stddev"] == pytest.approx(2.0)
+        assert stats["stddev"] != pytest.approx((32.0 / 7.0) ** 0.5)
+
+    def test_stddev_zero_for_constant_sequence(self):
+        stats = summary_stats([3.5] * 10)
+        assert stats["stddev"] == 0.0
+        assert stats["min"] == stats["max"] == stats["mean"] == 3.5
+
 
 class TestCounter:
     def test_increment(self):

@@ -2,14 +2,19 @@
 # CI gate: tier-1 tests + a macro-scale throughput smoke run.
 #
 # 1. Runs the full tier-1 test suite (ROADMAP.md's verify command).
-# 2. Runs the canonical macro scenario at smoke scale (~50k messages),
+# 2. Re-runs the suite under tools/coverage_gate.py: overall line
+#    coverage must stay at or above the pinned floor (CI_COVERAGE_FLOOR,
+#    default 94 — measured 94.9% when the gate was introduced) and the
+#    observability package src/repro/obs must be 100% covered. Set
+#    CI_COVERAGE=0 to skip the traced re-run on slow machines.
+# 3. Runs the canonical macro scenario at smoke scale (~50k messages),
 #    which also asserts cross-mode determinism, and fails the build if
 #    engine_stream throughput regresses more than CI_BENCH_TOLERANCE
 #    (default 30%) against the committed BENCH_scale.json numbers.
-# 3. Runs the built-in seeded chaos smoke campaign twice (well under 60s
+# 4. Runs the built-in seeded chaos smoke campaign twice (well under 60s
 #    total) and fails if any cell breaks an invariant or the two reports
 #    are not byte-identical (determinism gate).
-# 4. Runs the built-in seeded overload campaign twice the same way:
+# 5. Runs the built-in seeded overload campaign twice the same way:
 #    every cell must keep the overload monitors green (bounded queues,
 #    no lost accounting) and the two reports must be byte-identical.
 #
@@ -28,6 +33,18 @@ TOLERANCE="${CI_BENCH_TOLERANCE:-0.30}"
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q
+
+if [ "${CI_COVERAGE:-1}" != "0" ]; then
+    COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%) =="
+    PYTHONPATH=src python tools/coverage_gate.py \
+        --target src/repro \
+        --floor "${COVERAGE_FLOOR}" \
+        --require-100 obs \
+        -- -q -p no:cacheprovider
+else
+    echo "== coverage gate skipped (CI_COVERAGE=0) =="
+fi
 
 echo "== macro smoke benchmark (${MESSAGES} messages) =="
 python benchmarks/bench_macro_scale.py \

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Stdlib line-coverage gate: fail CI when coverage regresses.
+
+The container has no ``coverage`` package, so this gate measures line
+coverage with ``sys.settrace`` directly: a global tracer records every
+executed line in files under ``--target``, the set of *executable* lines
+comes from the compiled code objects' ``co_lines()``, and the ratio is
+checked against two floors:
+
+* ``--floor PCT`` — the pinned overall floor across every measured file
+  (measured once at introduction, then ratcheted: lowering it needs a
+  justification in the commit);
+* ``--require-100 PREFIX`` — paths (relative to the target) that must be
+  *fully* covered; the observability package ships at 100% and stays
+  there.
+
+Exclusions mirror coverage.py's defaults where they matter here: lines
+inside ``if TYPE_CHECKING:`` blocks and statements marked
+``# pragma: no cover`` are not counted as executable.
+
+Usage (what tools/ci.sh runs)::
+
+    python tools/coverage_gate.py --target src/repro/obs \\
+        --floor 100 --require-100 . -- -x -q tests/test_obs_trace.py ...
+
+Everything after ``--`` is passed to pytest verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+import threading
+import types
+
+
+def find_sources(target: str) -> list[str]:
+    """Every ``.py`` file under ``target`` (absolute paths, sorted)."""
+    found: list[str] = []
+    for root, _dirs, files in os.walk(target):
+        for name in files:
+            if name.endswith(".py"):
+                found.append(os.path.abspath(os.path.join(root, name)))
+    return sorted(found)
+
+
+def excluded_lines(source: str, tree: ast.Module) -> set[int]:
+    """Lines not counted as executable: TYPE_CHECKING bodies and pragmas."""
+    text_lines = source.splitlines()
+    excluded: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            test = node.test
+            name = getattr(test, "id", None) or getattr(test, "attr", None)
+            if name == "TYPE_CHECKING":
+                for child in node.body:
+                    excluded.update(range(child.lineno, child.end_lineno + 1))
+        lineno = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if lineno is not None and end is not None:
+            if "pragma: no cover" in text_lines[lineno - 1]:
+                excluded.update(range(lineno, end + 1))
+    return excluded
+
+
+def executable_lines(path: str) -> set[int]:
+    """Line numbers carrying bytecode in ``path``, minus exclusions."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    code = compile(source, path, "exec")
+    lines: set[int] = set()
+    stack: list[types.CodeType] = [code]
+    while stack:
+        current = stack.pop()
+        for _start, _end, line in current.co_lines():
+            # line 0 is the synthetic module prologue (RESUME), not source
+            if line:
+                lines.add(line)
+        for const in current.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines - excluded_lines(source, ast.parse(source))
+
+
+def run_pytest_traced(target: str, pytest_args: list[str]) -> tuple[dict, int]:
+    """Run pytest under a line tracer; returns (hits by file, exit code)."""
+    prefix = os.path.abspath(target) + os.sep
+    hits: dict[str, set[int]] = {}
+
+    def tracer(frame, event, _arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None
+        if event == "line":
+            hits.setdefault(filename, set()).add(frame.f_lineno)
+        return tracer
+
+    import pytest
+
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return hits, int(exit_code)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target", required=True,
+        help="directory whose .py files are measured",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.0, metavar="PCT",
+        help="minimum overall line coverage percent across the target",
+    )
+    parser.add_argument(
+        "--require-100", action="append", default=[], metavar="PREFIX",
+        help="relative path prefix (within the target) that must be 100%% "
+        "covered; '.' means the whole target. Repeatable.",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*",
+        help="arguments passed to pytest (put them after a `--`)",
+    )
+    args = parser.parse_args(argv)
+
+    target = os.path.abspath(args.target)
+    sources = find_sources(target)
+    if not sources:
+        print(f"coverage gate: no .py files under {args.target}", file=sys.stderr)
+        return 2
+
+    hits, pytest_exit = run_pytest_traced(target, args.pytest_args)
+    if pytest_exit != 0:
+        print(f"coverage gate: pytest failed (exit {pytest_exit})", file=sys.stderr)
+        return pytest_exit
+
+    total_executable = 0
+    total_hit = 0
+    failures: list[str] = []
+    print(f"\ncoverage gate over {args.target}:")
+    for path in sources:
+        executable = executable_lines(path)
+        covered = hits.get(path, set()) & executable
+        missing = sorted(executable - covered)
+        total_executable += len(executable)
+        total_hit += len(covered)
+        pct = 100.0 * len(covered) / len(executable) if executable else 100.0
+        rel = os.path.relpath(path, target)
+        print(f"  {rel:<28} {pct:6.1f}%  ({len(covered)}/{len(executable)})")
+        needs_full = any(
+            prefix == "." or rel == prefix or rel.startswith(prefix.rstrip("/") + "/")
+            for prefix in args.require_100
+        )
+        if needs_full and missing:
+            failures.append(
+                f"{rel}: must be 100% covered, missing lines {missing}"
+            )
+
+    overall = 100.0 * total_hit / total_executable if total_executable else 100.0
+    print(f"  {'TOTAL':<28} {overall:6.1f}%  ({total_hit}/{total_executable})")
+    if overall < args.floor:
+        failures.append(
+            f"overall coverage {overall:.1f}% below pinned floor {args.floor:.1f}%"
+        )
+    for failure in failures:
+        print(f"coverage gate FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("coverage gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
