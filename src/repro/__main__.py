@@ -1,7 +1,14 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The ``__main__`` guard is load-bearing: the cluster runtime starts its
+workers with the ``multiprocessing`` spawn method, and spawn re-imports
+the parent's main module in every child — an unguarded ``main()`` here
+would re-run the whole CLI once per worker.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

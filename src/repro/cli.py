@@ -11,6 +11,8 @@ the system work without writing code:
 * ``zombie``      — the §5 zombie-containment scenario.
 * ``scenario``    — kitchen-sink mixed simulation via the Scenario API.
 * ``audit``       — the solvency audit catching an e-penny-minting ISP.
+* ``cluster``     — sharded multi-process run in deterministic epoch
+  lockstep; the merged manifest is bit-identical across shard counts.
 * ``chaos``       — fault-injection campaign with invariant monitors.
 * ``overload``    — burst/flood campaign against the overload-protection
   layer (admission control, bounded queues, circuit breakers).
@@ -52,9 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     quickstart = sub.add_parser("quickstart", help="two-ISP zero-sum demo")
     quickstart.add_argument("--messages", type=int, default=5)
+    quickstart.add_argument("--seed", type=int, default=1)
 
-    sub.add_parser("breakeven", help="§1.2 spammer break-even table")
-    sub.add_parser("compare", help="§2 baseline comparison table")
+    breakeven = sub.add_parser("breakeven", help="§1.2 spammer break-even table")
+    breakeven.add_argument(
+        "--seed", type=int, default=0,
+        help="accepted for interface uniformity; the table is closed-form",
+    )
+    compare = sub.add_parser("compare", help="§2 baseline comparison table")
+    compare.add_argument("--seed", type=int, default=0)
 
     adoption = sub.add_parser("adoption", help="§5 adoption S-curve")
     adoption.add_argument("--isps", type=int, default=100)
@@ -73,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     zombie = sub.add_parser("zombie", help="§5 zombie containment scenario")
     zombie.add_argument("--limit", type=int, default=40)
+    zombie.add_argument("--seed", type=int, default=2)
 
     scenario = sub.add_parser(
         "scenario", help="kitchen-sink mixed simulation (Scenario API)"
@@ -84,6 +93,50 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="solvency audit demo: catch an e-penny-minting ISP"
     )
     audit.add_argument("--mint", type=int, default=5000)
+    audit.add_argument("--seed", type=int, default=18)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-process run: ISPs partitioned across worker "
+        "processes in deterministic epoch lockstep; results are "
+        "bit-identical across shard counts",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=4,
+        help="worker count (default 4); results do not depend on it",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed; the merged manifest is bit-reproducible "
+        "from it (default 0)",
+    )
+    cluster.add_argument("--isps", type=int, default=8)
+    cluster.add_argument("--users", type=int, default=32)
+    cluster.add_argument("--days", type=int, default=2)
+    cluster.add_argument(
+        "--epoch-hours", type=float, default=1.0,
+        help="barrier spacing in virtual hours; must divide the day "
+        "(default 1.0)",
+    )
+    cluster.add_argument(
+        "--mode", choices=("spawn", "inline"), default="spawn",
+        help="spawn real worker processes (default) or drive the same "
+        "workers in-process",
+    )
+    cluster.add_argument(
+        "--journal-dir", metavar="PATH", default=None,
+        help="journal worker barrier state here (enables crash recovery)",
+    )
+    cluster.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the merged run manifest here (byte-identical across "
+        "same-seed runs and shard counts)",
+    )
+    cluster.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the per-run cluster report (assignment, restarts, "
+        "per-shard digests) here",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -177,7 +230,7 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     from .core import ZmailNetwork
     from .sim import Address
 
-    net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=1)
+    net = ZmailNetwork(n_isps=2, users_per_isp=5, seed=args.seed)
     alice, bob = Address(0, 1), Address(1, 2)
     for _ in range(args.messages):
         net.send(alice, bob)
@@ -206,7 +259,9 @@ def cmd_breakeven(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     from .baselines import ComparisonScenario, run_comparison
 
-    results = run_comparison(ComparisonScenario(n_train=800, n_test=800))
+    results = run_comparison(
+        ComparisonScenario(n_train=800, n_test=800, seed=args.seed)
+    )
     print(f"{'approach':<22} {'blocked':>8} {'ham lost':>9} "
           f"{'$/msg':>8} {'needs defn':>10}")
     for result in results:
@@ -268,7 +323,8 @@ def cmd_zombie(args: argparse.Namespace) -> int:
         default_user_balance=1000,
         auto_topup_amount=0,
     )
-    net = ZmailNetwork(n_isps=2, users_per_isp=5, config=config, seed=2)
+    net = ZmailNetwork(n_isps=2, users_per_isp=5, config=config,
+                       seed=args.seed)
     zombie = Address(0, 1)
     for i in range(10 * args.limit):
         net.send(zombie, Address(1, i % 5))
@@ -324,7 +380,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
         initial_pool=500, minavail=200, maxavail=900,
         default_user_balance=50, auto_topup_amount=10,
     )
-    net = ZmailNetwork(n_isps=3, users_per_isp=8, config=config, seed=18)
+    net = ZmailNetwork(n_isps=3, users_per_isp=8, config=config,
+                       seed=args.seed)
     auditor = EconomicAuditor()
     endowment = config.initial_pool + 8 * config.default_user_balance
     for isp_id in net.compliant_isps():
@@ -332,7 +389,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     net.isps[1].ledger.pool += args.mint
     print(f"isp1 secretly minted {args.mint} e-pennies...")
 
-    rng = random.Random(18)
+    rng = random.Random(args.seed)
     for day in range(1, 15):
         for _ in range(300):
             net.send(Address(rng.randrange(3), rng.randrange(8)),
@@ -362,6 +419,49 @@ def cmd_audit(args: argparse.Namespace) -> int:
         print("all clear")
     caught = any(a.isp_id == 1 for a in alerts) if args.mint else not alerts
     return 0 if caught else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import ClusterConfig, cluster_scenario, run_cluster
+    from .sim import HOUR
+
+    scenario = cluster_scenario(
+        args.seed,
+        n_isps=args.isps,
+        users_per_isp=args.users,
+        days=args.days,
+    )
+    result = run_cluster(
+        ClusterConfig(
+            scenario=scenario,
+            n_shards=args.shards,
+            epoch_len=args.epoch_hours * HOUR,
+            mode=args.mode,
+            journal_dir=args.journal_dir,
+        )
+    )
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            handle.write(result.manifest.to_json())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(result.report, sort_keys=True, indent=2) + "\n"
+            )
+    extra = result.manifest.extra
+    print(f"shards:          {args.shards} ({args.mode})")
+    print(f"cycles:          {result.report['cycles']} "
+          f"x {args.epoch_hours}h epochs")
+    print(f"sends attempted: {extra['sends_attempted']}")
+    print(f"events:          {result.manifest.event_count}")
+    print(f"rounds:          {extra['rounds']} "
+          f"(consistent: {result.all_consistent})")
+    print(f"zombies caught:  {extra['zombies_detected']}")
+    print(f"conserved:       {result.conserved}")
+    print(f"manifest digest: {result.manifest.digest()}")
+    return 0 if (result.conserved and result.all_consistent) else 1
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -459,6 +559,7 @@ _COMMANDS = {
     "zombie": cmd_zombie,
     "scenario": cmd_scenario,
     "audit": cmd_audit,
+    "cluster": cmd_cluster,
     "chaos": cmd_chaos,
     "overload": cmd_overload,
     "trace": cmd_trace,

@@ -1,0 +1,113 @@
+"""Shard planner: deterministic partition of ISPs across workers.
+
+Every worker in a cluster run must agree on where each ISP lives without
+talking to the others, and the partition must be a pure function of the
+inputs so a restarted worker (or a re-run with a different process
+count) lands on exactly the same layout. Two strategies share one entry
+point:
+
+* **Rendezvous hashing** (equal weights, the default): each ISP joins
+  the shard with the highest ``SHA-256(seed:isp:shard)`` score. The
+  assignment of one ISP depends only on ``(seed, isp_id, n_shards)`` —
+  never on the other ISPs — which gives the planner its permutation
+  stability: relabeling which ISPs exist in an equal-weight deployment
+  cannot move the survivors.
+* **Greedy weighted** (heaviest-first): when per-ISP weights are given
+  (e.g. user counts in a future heterogeneous deployment), ISPs are
+  placed heaviest-first onto the lightest shard, with deterministic
+  tie-breaks (lower ISP id first, lower shard id wins a load tie).
+
+Both are pure functions — no RNG state is consumed — so the planner can
+be called anywhere (parent, worker, tests) with identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["ShardPlan", "shard_of", "plan_shards"]
+
+
+def _score(seed: int, isp_id: int, shard_id: int) -> int:
+    payload = f"{seed}:{isp_id}:{shard_id}".encode("ascii")
+    return int.from_bytes(hashlib.sha256(payload).digest(), "big")
+
+
+def shard_of(isp_id: int, n_shards: int, *, seed: int = 0) -> int:
+    """The rendezvous-hash home shard for one ISP.
+
+    A pure function of ``(seed, isp_id, n_shards)``: the highest-scoring
+    shard wins. Every participant computes the same answer locally.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    return max(range(n_shards), key=lambda shard: _score(seed, isp_id, shard))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete, validated ISP→shard assignment."""
+
+    n_isps: int
+    n_shards: int
+    seed: int
+    assignment: tuple[int, ...]  # assignment[isp_id] -> shard_id
+
+    def shard_isps(self, shard_id: int) -> frozenset[int]:
+        """The set of ISP ids homed on ``shard_id``."""
+        return frozenset(
+            isp_id
+            for isp_id, shard in enumerate(self.assignment)
+            if shard == shard_id
+        )
+
+    def shards(self) -> list[frozenset[int]]:
+        """Per-shard ISP sets, indexed by shard id. Disjoint and total."""
+        return [self.shard_isps(shard) for shard in range(self.n_shards)]
+
+    def home(self, isp_id: int) -> int:
+        """The shard owning ``isp_id``."""
+        return self.assignment[isp_id]
+
+
+def plan_shards(
+    n_isps: int,
+    n_shards: int,
+    *,
+    seed: int = 0,
+    weights: list[int] | None = None,
+) -> ShardPlan:
+    """Partition ``n_isps`` ISPs across ``n_shards`` workers.
+
+    Equal weights (``weights=None`` or all identical) use rendezvous
+    hashing; otherwise the greedy heaviest-first balancer runs. Either
+    way the result is total (every ISP placed), disjoint (exactly one
+    home each) and deterministic for a given ``(seed, n_isps, n_shards,
+    weights)`` — the properties the hypothesis suite pins down.
+    """
+    if n_isps <= 0:
+        raise ValueError(f"need at least one ISP, got {n_isps}")
+    if not 1 <= n_shards <= n_isps:
+        raise ValueError(
+            f"n_shards must be in [1, {n_isps}] for {n_isps} ISPs, "
+            f"got {n_shards}"
+        )
+    if weights is not None and len(weights) != n_isps:
+        raise ValueError("weights length must equal n_isps")
+
+    if weights is None or len(set(weights)) <= 1:
+        assignment = tuple(
+            shard_of(isp_id, n_shards, seed=seed) for isp_id in range(n_isps)
+        )
+    else:
+        loads = [0] * n_shards
+        placed: dict[int, int] = {}
+        for isp_id in sorted(range(n_isps), key=lambda i: (-weights[i], i)):
+            shard = min(range(n_shards), key=lambda s: (loads[s], s))
+            placed[isp_id] = shard
+            loads[shard] += weights[isp_id]
+        assignment = tuple(placed[isp_id] for isp_id in range(n_isps))
+    return ShardPlan(
+        n_isps=n_isps, n_shards=n_shards, seed=seed, assignment=assignment
+    )

@@ -1,0 +1,489 @@
+"""One shard worker: a ZmailNetwork slice driven in epoch lockstep.
+
+A :class:`ShardWorker` owns the ISPs its :class:`ShardSpec` assigns to
+it — materialized as real :class:`~repro.core.isp.CompliantISP` /
+``NonCompliantISP`` nodes, with every other ISP a
+:class:`~repro.core.isp.RemoteISP` placeholder — plus its own bank
+slice, metrics registry, optional tracer and workload slice. Workers
+never talk to each other directly; the parent forwards opaque
+pre-pickled letter batches between them (star topology), so a SIGKILLed
+worker can never corrupt a peer's channel.
+
+The lockstep cycle ``k`` (virtual barrier time ``B_k = k * epoch_len``):
+
+1. receive ``INPUTS(k)`` — peer batches from epoch ``k-1``, plus the
+   reconcile and final flags;
+2. **barrier work at** ``B_k``: midnight/rebalance via ``note_time``,
+   then deliver the merged inbound + locally-pending letters sorted by
+   ``(src_isp, seq)`` — a shard-invariant order; if a reconcile cut is
+   due, assert zero letters in flight and take the §4.4 snapshot of
+   every local ISP;
+3. journal the post-barrier durable state (atomic write-then-rename);
+4. run epoch ``k``: consume workload requests with ``time <
+   B_{k+1}`` strictly — boundary requests belong to the next epoch, on
+   the far side of the cut;
+5. send ``OUTPUTS(k)``: one tagged batch per peer shard, plus the cut
+   replies when one was taken.
+
+Determinism: every input to steps 2 and 4 is a pure function of
+``(scenario, plan, epoch_len)`` — never of shard count, wall clock or
+scheduling — which is why N=1, 2 and 4 shard runs merge to identical
+digests. Crash recovery replays from the journal: barrier ``k`` applied,
+epoch ``k`` re-run from the workload position, duplicate outputs
+dropped by the parent and duplicate inputs dropped here (``cycle <=
+last barrier``), so every letter and ledger event lands exactly once.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import os
+import pickle
+from dataclasses import dataclass
+
+from ..core.isp import CompliantISP
+from ..core.persistence import (
+    bank_state,
+    isp_state,
+    load_bank_state,
+    load_isp_state,
+)
+from ..core.protocol import ZmailNetwork
+from ..core.scenario import Scenario
+from ..core.zombie import ZombieMonitor
+from ..errors import SimulationError
+from ..obs.schema import LEDGER_EVENT_TYPES
+from ..obs.trace import AdditiveMultisetDigest, TraceRecorder
+from ..sim.rng import SeededStreams, derive_seed
+from ..sim.workload import merge_workloads
+from .links import (
+    InterShardLink,
+    LetterSequencer,
+    ShardOutbox,
+    decode_letter,
+    encode_letter,
+)
+
+__all__ = ["JOURNAL_FORMAT", "ShardSpec", "ShardWorker", "worker_entry"]
+
+JOURNAL_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs — picklable for spawn start-up."""
+
+    shard_id: int
+    n_shards: int
+    scenario: Scenario
+    assignment: tuple[int, ...]  # isp_id -> shard_id (from the planner)
+    epoch_len: float
+    total_cycles: int
+    journal_dir: str | None = None
+    traced: bool = True
+
+    @property
+    def local_isps(self) -> frozenset[int]:
+        return frozenset(
+            isp_id
+            for isp_id, shard in enumerate(self.assignment)
+            if shard == self.shard_id
+        )
+
+    @property
+    def journal_path(self) -> str | None:
+        if self.journal_dir is None:
+            return None
+        return os.path.join(self.journal_dir, f"shard{self.shard_id}.json")
+
+
+class _DigestSink:
+    """Trace sink feeding the worker's mergeable digest accumulators."""
+
+    __slots__ = ("_accumulators",)
+
+    def __init__(self, *accumulators: AdditiveMultisetDigest) -> None:
+        self._accumulators = accumulators
+
+    def accept(self, line: str) -> None:
+        event = json.loads(line)
+        for accumulator in self._accumulators:
+            accumulator.add(event)
+
+
+class ShardWorker:
+    """The shard state machine; transport-agnostic (see :func:`worker_entry`)."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.local = spec.local_isps
+        scenario = spec.scenario
+        self._peers = [
+            s for s in range(spec.n_shards) if s != spec.shard_id
+        ]
+        # Timestamps in worker traces are shard-invariant by construction
+        # (sends at request time, barrier work at B_k), so the full-event
+        # accumulator keeps them and drops only the per-worker seq.
+        # "midnight" is per-*network* control chatter — every shard emits
+        # an identical copy at each day boundary, so it is the one event
+        # type whose multiset would scale with shard count.
+        self.events_acc = AdditiveMultisetDigest(
+            exclude_types=("midnight",), exclude_fields=("seq",)
+        )
+        self.ledger_acc = AdditiveMultisetDigest(
+            include_types=LEDGER_EVENT_TYPES
+        )
+        tracer = None
+        if spec.traced:
+            tracer = TraceRecorder(
+                sink=_DigestSink(self.events_acc, self.ledger_acc)
+            )
+        self.network = ZmailNetwork(
+            n_isps=scenario.n_isps,
+            users_per_isp=scenario.users_per_isp,
+            compliant=scenario.compliant,
+            config=scenario.config,
+            seed=derive_seed(scenario.seed, f"shard{spec.shard_id}"),
+            transport=self._transport,
+            local_isps=self.local,
+            tracer=tracer,
+        )
+        for spammer in scenario.spammers:
+            if spammer.war_chest:
+                # No-op for remote spammers: their home shard funds them.
+                self.network.fund_user(
+                    spammer.address, epennies=spammer.war_chest
+                )
+        self._sequencer = LetterSequencer()
+        self._outbox = ShardOutbox(spec.shard_id, self._peers)
+        self._links = {s: InterShardLink(s) for s in self._peers}
+        self._pending_local: list[tuple[int, int, object]] = []
+        self._pending_cut: dict | None = None
+        self._pending_outputs: dict | None = None
+        self._last_barrier = -1
+        self.round_seq = 0
+        self.attempted = 0
+        self.exported = 0
+        self.imported = 0
+        self.restored = False
+        self._requests = merge_workloads(
+            *scenario.workload_streams(
+                SeededStreams(scenario.seed), sender_isps=self.local
+            )
+        )
+        self._next_request = next(self._requests, None)
+
+        path = spec.journal_path
+        if path is not None and os.path.exists(path):
+            self._restore(path)
+
+    # -- transport hook (called by the network for every cross-ISP letter) --
+
+    def _transport(self, letter) -> None:
+        seq = self._sequencer.stamp(letter.src_isp)
+        dst_shard = self.spec.assignment[letter.dst_isp]
+        if dst_shard == self.spec.shard_id:
+            # Local cross-ISP mail waits for the barrier too: delivery
+            # timing must not depend on whether the peer shares a shard.
+            self._pending_local.append((letter.src_isp, seq, letter))
+        else:
+            self._outbox.add(dst_shard, encode_letter(letter, seq))
+            if letter.paid:
+                # The value travels with the letter; the importing shard
+                # re-books it before delivery.
+                self.network.paid_letters_in_flight -= 1
+            self.exported += 1
+
+    # -- the lockstep cycle ------------------------------------------------
+
+    def take_pending_outputs(self) -> dict | None:
+        """Outputs regenerated during journal restore (send-first)."""
+        outputs, self._pending_outputs = self._pending_outputs, None
+        return outputs
+
+    def handle_inputs(self, msg: dict) -> dict | None:
+        """Process one ``INPUTS`` message; returns outputs or ``None``.
+
+        ``None`` means the message was a stale duplicate (the parent
+        resends the last inputs after a respawn) and was ignored.
+        """
+        cycle = msg["cycle"]
+        if cycle <= self._last_barrier:
+            return None
+        if cycle != self._last_barrier + 1:
+            raise SimulationError(
+                f"shard {self.spec.shard_id}: expected inputs for cycle "
+                f"{self._last_barrier + 1}, got {cycle}"
+            )
+        self._apply_barrier(cycle, msg["batches"], cut=msg["reconcile"])
+        self._last_barrier = cycle
+        if msg["final"]:
+            return self._final_outputs()
+        self._write_journal()
+        return self._run_epoch()
+
+    def _apply_barrier(
+        self, cycle: int, blobs: list[bytes], *, cut: bool
+    ) -> None:
+        barrier_time = cycle * self.spec.epoch_len
+        network = self.network
+        # Midnight/rebalance first: it commutes with the deliveries below
+        # (disjoint state) and stamps them all at exactly t = B_k.
+        network.note_time(barrier_time)
+        merged: list[tuple[int, int, object, bool]] = []
+        for blob in blobs:
+            batch = pickle.loads(blob)
+            letters = self._links[batch["src_shard"]].accept(batch)
+            if letters is None:
+                continue  # duplicate from a restarted peer
+            for wire in letters:
+                seq, letter = decode_letter(wire)
+                merged.append((letter.src_isp, seq, letter, True))
+        for src_isp, seq, letter in self._pending_local:
+            merged.append((src_isp, seq, letter, False))
+        self._pending_local = []
+        merged.sort(key=lambda item: (item[0], item[1]))
+        for _src, _seq, letter, is_import in merged:
+            if is_import:
+                self.imported += 1
+                if letter.paid:
+                    network.paid_letters_in_flight += 1
+            network.deliver_transported(letter)
+        if cut:
+            self._take_cut()
+
+    def _take_cut(self) -> None:
+        network = self.network
+        if network.paid_letters_in_flight:
+            raise SimulationError(
+                f"shard {self.spec.shard_id}: {network.paid_letters_in_flight} "
+                "letters in flight at a barrier cut"
+            )
+        replies: dict[int, dict[int, int]] = {}
+        for isp_id, isp in sorted(network.compliant_isps().items()):
+            isp.begin_snapshot(self.round_seq)
+            replies[isp_id] = isp.snapshot_reply()
+            isp.resume_sending()
+        self._pending_cut = {
+            "round_seq": self.round_seq,
+            "replies": replies,
+            "total_value": network.total_value(),
+            "expected_total_value": network.expected_total_value(),
+        }
+        self.round_seq += 1
+
+    def _run_epoch(self) -> dict:
+        cycle = self._last_barrier
+        end = (cycle + 1) * self.spec.epoch_len
+        network = self.network
+        request = self._next_request
+        # Strictly < end: a request at exactly the barrier belongs to the
+        # next epoch, after the cut — the cut-consistency invariant.
+        while request is not None and request.time < end:
+            network.note_time(request.time)
+            network.send(request.sender, request.recipient, request.kind)
+            self.attempted += 1
+            request = next(self._requests, None)
+        self._next_request = request
+        batches = self._outbox.flush(cycle)
+        cut, self._pending_cut = self._pending_cut, None
+        return {
+            "type": "outputs",
+            "shard": self.spec.shard_id,
+            "cycle": cycle,
+            "batches": {
+                dst: pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+                for dst, batch in batches.items()
+            },
+            "cut": cut,
+        }
+
+    def _final_outputs(self) -> dict:
+        network = self.network
+        monitor = ZombieMonitor(network)
+        monitor.poll()
+        cut, self._pending_cut = self._pending_cut, None
+        accounting: dict[str, object] = {
+            "isps": {},
+            "bank_deposits": network.bank.total_deposits(),
+            "external_deposit": network._external_deposit,
+            "total_value": network.total_value(),
+            "expected_total_value": network.expected_total_value(),
+        }
+        for isp_id, isp in sorted(network.compliant_isps().items()):
+            accounting["isps"][str(isp_id)] = {
+                "users": [
+                    [user.user_id, user.account, user.balance]
+                    for user in isp.ledger.users()
+                ],
+                "pool": isp.ledger.pool,
+                "cash": isp.ledger.cash,
+                "bank_account": network.bank.account_balance(isp_id),
+            }
+        return {
+            "type": "final",
+            "shard": self.spec.shard_id,
+            "cycle": self._last_barrier,
+            "cut": cut,
+            "accounting": accounting,
+            "counters": dict(network.metrics.snapshot()["counters"]),
+            "digests": {
+                "events": self.events_acc.state_dict(),
+                "ledger": self.ledger_acc.state_dict(),
+            },
+            "detections": [
+                [d.address.isp, d.address.user,
+                 d.messages_before_block, d.daily_limit]
+                for d in monitor.detections
+            ],
+            "attempted": self.attempted,
+            "exported": self.exported,
+            "imported": self.imported,
+            "restored": self.restored,
+        }
+
+    # -- journal / restore -------------------------------------------------
+
+    def _write_journal(self) -> None:
+        path = self.spec.journal_path
+        if path is None:
+            return
+        network = self.network
+        pending_cut = None
+        if self._pending_cut is not None:
+            pending_cut = {
+                "round_seq": self._pending_cut["round_seq"],
+                "replies": {
+                    str(isp): {str(peer): v for peer, v in reply.items()}
+                    for isp, reply in self._pending_cut["replies"].items()
+                },
+                "total_value": self._pending_cut["total_value"],
+                "expected_total_value": self._pending_cut[
+                    "expected_total_value"
+                ],
+            }
+        state = {
+            "format": JOURNAL_FORMAT,
+            "cycle": self._last_barrier,
+            "round_seq": self.round_seq,
+            "last_day_seen": network._last_day_seen,
+            "attempted": self.attempted,
+            "exported": self.exported,
+            "imported": self.imported,
+            "external_deposit": network._external_deposit,
+            "isps": {
+                str(isp_id): isp_state(isp)
+                for isp_id, isp in sorted(network.compliant_isps().items())
+            },
+            "bank": bank_state(network.bank),
+            "nonces": {
+                str(isp_id): source._counter
+                for isp_id, source in sorted(
+                    network._nonce_sources.items()
+                )
+            },
+            "counters": dict(network.metrics.snapshot()["counters"]),
+            "letter_seq": self._sequencer.state_dict(),
+            "links": {
+                str(src): link.expected_epoch
+                for src, link in self._links.items()
+            },
+            "digests": {
+                "events": self.events_acc.state_dict(),
+                "ledger": self.ledger_acc.state_dict(),
+            },
+            "pending_cut": pending_cut,
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, sort_keys=True)
+        os.replace(tmp, path)  # atomic: a crash mid-write keeps the old one
+
+    def _restore(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        if state.get("format") != JOURNAL_FORMAT:
+            raise SimulationError(
+                f"unsupported shard journal format {state.get('format')!r}"
+            )
+        network = self.network
+        for isp_key, blob in state["isps"].items():
+            isp = network.isps[int(isp_key)]
+            assert isinstance(isp, CompliantISP)
+            load_isp_state(isp, blob)
+        load_bank_state(network.bank, state["bank"])
+        for isp_key, counter in state["nonces"].items():
+            # Restoring the counter alone replays the same hash-chain
+            # nonce sequence the pre-crash worker would have issued.
+            network._nonce_sources[int(isp_key)]._counter = int(counter)
+        for name, value in state["counters"].items():
+            network.metrics.counter(name).value = value
+        network._last_day_seen = int(state["last_day_seen"])
+        network._external_deposit = int(state["external_deposit"])
+        self.attempted = int(state["attempted"])
+        self.exported = int(state["exported"])
+        self.imported = int(state["imported"])
+        self.round_seq = int(state["round_seq"])
+        self._sequencer.load_state(state["letter_seq"])
+        for src_key, expected in state["links"].items():
+            self._links[int(src_key)].expected_epoch = int(expected)
+        self.events_acc.load_state(state["digests"]["events"])
+        self.ledger_acc.load_state(state["digests"]["ledger"])
+        if state["pending_cut"] is not None:
+            blob = state["pending_cut"]
+            self._pending_cut = {
+                "round_seq": int(blob["round_seq"]),
+                "replies": {
+                    int(isp): {int(peer): v for peer, v in reply.items()}
+                    for isp, reply in blob["replies"].items()
+                },
+                "total_value": blob["total_value"],
+                "expected_total_value": blob["expected_total_value"],
+            }
+        cycle = int(state["cycle"])
+        self._last_barrier = cycle
+        network._direct_now = cycle * self.spec.epoch_len
+        # Replay the workload position. ``attempted`` requests were
+        # dispatched before the journal was written and one more sat in
+        # the lookahead buffer; the constructor already pulled request
+        # #0 into that buffer, so skip ``attempted - 1`` further and
+        # re-buffer — when nothing was dispatched yet the constructor's
+        # pull is already the right buffer.
+        if self.attempted:
+            collections.deque(
+                itertools.islice(self._requests, self.attempted - 1),
+                maxlen=0,
+            )
+            self._next_request = next(self._requests, None)
+        self.restored = True
+        # Re-run the journaled epoch; the parent drops the duplicate
+        # outputs if the crash happened after they were first sent.
+        self._pending_outputs = self._run_epoch()
+
+
+def worker_entry(conn, spec: ShardSpec) -> None:
+    """The worker message loop over any ``send``/``recv`` channel.
+
+    Transport-agnostic on purpose: the spawn runtime passes one end of a
+    ``multiprocessing.Pipe``, and the test suite drives the same loop
+    from a thread so the in-process coverage tracer sees it.
+    """
+    worker = ShardWorker(spec)
+    outputs = worker.take_pending_outputs()
+    if outputs is not None:
+        conn.send(outputs)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg.get("type") == "stop":
+            return
+        outputs = worker.handle_inputs(msg)
+        if outputs is None:
+            continue
+        conn.send(outputs)
+        if outputs["type"] == "final":
+            return

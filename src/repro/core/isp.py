@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..errors import SnapshotInProgress
+from ..errors import SimulationError, SnapshotInProgress
 from ..sim.workload import Address, TrafficKind
 from .config import NonCompliantMailPolicy, ZmailConfig
 from .ledger import Ledger
@@ -30,7 +30,7 @@ from .transfer import (
     SendStatus,
 )
 
-__all__ = ["DeliveryStats", "CompliantISP", "NonCompliantISP"]
+__all__ = ["DeliveryStats", "CompliantISP", "NonCompliantISP", "RemoteISP"]
 
 
 @dataclass(slots=True)
@@ -381,3 +381,36 @@ class NonCompliantISP:
             return False
         self.stats.received_unpaid += 1
         return True
+
+
+class RemoteISP:
+    """A placeholder for an ISP homed on another shard.
+
+    The cluster runtime gives each worker only its own slice of the
+    deployment; every other ISP appears as a ``RemoteISP`` carrying just
+    the identity and the advertised compliance flag (enough for the
+    compliance directory and paid-route decisions). Any attempt to make
+    it send or receive locally is a routing bug, so both entry points
+    raise — cross-shard letters must travel the inter-shard links and be
+    delivered by the destination ISP's home shard.
+    """
+
+    def __init__(self, isp_id: int, *, compliant: bool) -> None:
+        self.isp_id = isp_id
+        self.compliant = compliant
+
+    def submit(
+        self,
+        sender_user: int,
+        recipient: Address,
+        kind: TrafficKind,
+        content: tuple[str, ...] | None = None,
+    ) -> SendReceipt:
+        raise SimulationError(
+            f"isp{self.isp_id} is remote: its home shard owns its senders"
+        )
+
+    def deliver(self, letter: Letter) -> bool:
+        raise SimulationError(
+            f"isp{self.isp_id} is remote: letter {letter!r} missed its shard"
+        )

@@ -36,7 +36,7 @@ from ..sim.rng import SeededStreams
 from ..sim.workload import Address, SendRequest, TrafficKind
 from .bank import Bank
 from .config import ZmailConfig
-from .isp import CompliantISP, NonCompliantISP
+from .isp import CompliantISP, NonCompliantISP, RemoteISP
 from .misbehavior import ReconciliationReport
 from .overload import AdmissionController, OverloadConfig, shed_class_for
 from .snapshot import (
@@ -117,6 +117,15 @@ class ZmailNetwork:
             pump for an ISP whose gate answers ``False`` (e.g. the node
             is crashed in the chaos harness) is postponed rather than
             processed, so retries never mutate a dead node's ledger.
+        local_isps: Restrict materialization to this subset of ISP ids
+            (the cluster runtime's shard slice). Non-local ISPs become
+            :class:`~repro.core.isp.RemoteISP` placeholders: they appear
+            in the compliance directory with their configured flag so
+            local senders pay them correctly, but carry no users, no
+            ledger and no bank account — their home shard owns those.
+            Letters addressed to a remote ISP must leave through
+            ``transport``. Default: every ISP is local (single-process
+            behaviour, unchanged).
         tracer: Observability event bus (:mod:`repro.obs.trace`). Every
             ledger-visible step — sends, deliveries, top-ups, bank
             trades, midnights, reconciliations, overload decisions —
@@ -154,6 +163,7 @@ class ZmailNetwork:
             Callable[[float, Callable[[], None]], object] | None
         ) = None,
         overload_gate: Callable[[int], bool] | None = None,
+        local_isps: Iterable[int] | None = None,
         tracer: TraceRecorder | None = None,
         spans: SpanRegistry | None = None,
     ) -> None:
@@ -165,12 +175,20 @@ class ZmailNetwork:
         flags = list(compliant) if compliant is not None else [True] * n_isps
         if len(flags) != n_isps:
             raise ValueError("compliant flags length must equal n_isps")
+        local = set(range(n_isps)) if local_isps is None else set(local_isps)
+        if not local <= set(range(n_isps)):
+            raise ValueError(f"local_isps out of range: {sorted(local)}")
+        if local != set(range(n_isps)) and transport is None:
+            raise ValueError("a sharded slice (local_isps) needs a transport")
+        self.local_isps = frozenset(local)
 
         self.bank = Bank(use_crypto=self.config.use_crypto, seed=seed)
-        self.isps: dict[int, CompliantISP | NonCompliantISP] = {}
+        self.isps: dict[int, CompliantISP | NonCompliantISP | RemoteISP] = {}
         self._nonce_sources: dict[int, NonceSource] = {}
         for isp_id, is_compliant in enumerate(flags):
-            if is_compliant:
+            if isp_id not in local:
+                self.isps[isp_id] = RemoteISP(isp_id, compliant=is_compliant)
+            elif is_compliant:
                 self.isps[isp_id] = CompliantISP(
                     isp_id, users_per_isp, self.config
                 )
@@ -264,9 +282,15 @@ class ZmailNetwork:
 
     def _push_directory(self) -> None:
         directory = self.bank.compliance_directory()
-        # Non-compliant ISPs are absent from the bank; fill them in as False.
-        for isp_id in range(self.n_isps):
-            directory.setdefault(isp_id, False)
+        # Non-compliant ISPs are absent from the bank; fill them in as
+        # False. Remote ISPs are absent too (their home shard's bank slice
+        # owns the account) — advertise their configured flag so local
+        # senders pay compliant remote destinations.
+        for isp_id, isp in self.isps.items():
+            if isinstance(isp, RemoteISP):
+                directory.setdefault(isp_id, isp.compliant)
+            else:
+                directory.setdefault(isp_id, False)
         for isp in self.isps.values():
             if isinstance(isp, CompliantISP):
                 isp.update_compliance(directory)
@@ -288,6 +312,10 @@ class ZmailNetwork:
         isp = self.isps[isp_id]
         if isinstance(isp, CompliantISP):
             return
+        if isinstance(isp, RemoteISP):
+            raise SimulationError(
+                f"isp{isp_id} is remote; its home shard owns compliance"
+            )
         self.isps[isp_id] = CompliantISP(isp_id, self.users_per_isp, self.config)
         self.bank.register_isp(
             isp_id, initial_account=self.config.initial_bank_account
@@ -776,6 +804,12 @@ class ZmailNetwork:
             }
         tracer = self.tracer
         for isp_id, isp in sorted(compliant.items()):
+            # An ISP the bank has flagged non-compliant cannot trade:
+            # buy_epennies/sell_epennies would raise NotCompliant, and the
+            # partial-rebalance path (chaos restarts rebalance a subset)
+            # must not let one flagged member abort the whole round.
+            if not self.bank.is_compliant(isp_id):
+                continue
             deficit = isp.pool_deficit()
             if deficit > 0:
                 nonce = self._nonce_sources[isp_id].next()
@@ -791,8 +825,12 @@ class ZmailNetwork:
             surplus = isp.pool_surplus()
             if surplus > 0:
                 nonce = self._nonce_sources[isp_id].next()
-                isp.ledger.pool_debit(surplus)
+                # Bank first: debiting the pool before a sell_epennies
+                # that raised (NotCompliant, replay) destroyed the surplus
+                # outright. With the bank credited, pool_debit cannot fail
+                # (the surplus is bounded by the pool).
                 self.bank.sell_epennies(isp_id, value=surplus, nonce=nonce)
+                isp.ledger.pool_debit(surplus)
                 self.metrics.counter("bank.sells").increment()
                 if tracer.enabled:
                     tracer.emit(

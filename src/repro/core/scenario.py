@@ -154,18 +154,39 @@ class Scenario:
             spans=self.spans,  # type: ignore[arg-type]
         )
 
-    def _workload_streams(self, streams: SeededStreams):
+    def workload_streams(
+        self,
+        streams: SeededStreams,
+        *,
+        sender_isps: set[int] | frozenset[int] | None = None,
+    ):
+        """The scenario's request iterators, optionally filtered by sender.
+
+        ``sender_isps`` restricts the output to requests whose *sender*
+        is homed at one of the given ISPs — the cluster runtime's shard
+        filter. Filtering is replication-safe: every shard builds the
+        same streams from the same seed, so per-name RNG consumption is
+        identical everywhere; the normal workload is filtered
+        per-request (its per-sender contact streams are independent),
+        while spam/zombie streams for foreign actors are skipped
+        entirely (each spec has its own spawned stream).
+        """
+        keep = sender_isps
         iterators = []
         if self.normal_rate_per_day > 0:
-            iterators.append(
-                NormalUserWorkload(
-                    n_isps=self.n_isps,
-                    users_per_isp=self.users_per_isp,
-                    rate_per_day=self.normal_rate_per_day,
-                    streams=streams,
-                ).generate(self.duration)
-            )
+            normal = NormalUserWorkload(
+                n_isps=self.n_isps,
+                users_per_isp=self.users_per_isp,
+                rate_per_day=self.normal_rate_per_day,
+                streams=streams,
+            ).generate(self.duration)
+            if keep is not None:
+                normal = (r for r in normal if r.sender.isp in keep)
+            iterators.append(normal)
         for index, spec in enumerate(self.spammers):
+            spawned = streams.spawn(f"spam{index}")
+            if keep is not None and spec.address.isp not in keep:
+                continue
             iterators.append(
                 SpamCampaignWorkload(
                     spammer=spec.address,
@@ -174,10 +195,13 @@ class Scenario:
                     volume=spec.volume,
                     start=spec.start,
                     duration=spec.duration,
-                    streams=streams.spawn(f"spam{index}"),
+                    streams=spawned,
                 ).generate()
             )
         for index, spec in enumerate(self.zombies):
+            spawned = streams.spawn(f"zombie{index}")
+            if keep is not None and spec.address.isp not in keep:
+                continue
             iterators.append(
                 ZombieBurstWorkload(
                     zombie=spec.address,
@@ -186,10 +210,14 @@ class Scenario:
                     rate_per_hour=spec.rate_per_hour,
                     start=spec.start,
                     end=spec.end,
-                    streams=streams.spawn(f"zombie{index}"),
+                    streams=spawned,
                 ).generate()
             )
         return iterators
+
+    # Backwards-compatible private alias (pre-cluster callers).
+    def _workload_streams(self, streams: SeededStreams):
+        return self.workload_streams(streams)
 
     def run(self) -> ScenarioResult:
         """Execute the scenario and collect the result."""

@@ -39,6 +39,7 @@ from .spans import NULL_SPANS, SpanRegistry
 from .trace import (
     NULL_TRACER,
     TRACE_FORMAT_VERSION,
+    AdditiveMultisetDigest,
     JsonlSink,
     ListSink,
     RingSink,
@@ -58,6 +59,7 @@ __all__ = [
     "NULL_TRACER",
     "canonical_line",
     "multiset_digest",
+    "AdditiveMultisetDigest",
     "SpanRegistry",
     "NULL_SPANS",
     "MetricsExporter",

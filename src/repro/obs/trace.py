@@ -35,6 +35,7 @@ __all__ = [
     "NULL_TRACER",
     "canonical_line",
     "multiset_digest",
+    "AdditiveMultisetDigest",
 ]
 
 #: Bumped whenever the line encoding or the digest definition changes, so
@@ -253,3 +254,79 @@ def multiset_digest(
     for digest_hex in per_event:
         rollup.update(digest_hex.encode("ascii"))
     return rollup.hexdigest()
+
+
+class AdditiveMultisetDigest:
+    """Order-insensitive multiset hash that merges and survives restarts.
+
+    Same per-event reduction as :func:`multiset_digest` (canonical bytes
+    minus ``exclude_fields``, optional ``include_types`` allow-list and
+    ``exclude_types`` deny-list), but the
+    accumulator is the *sum* of per-event SHA-256 values mod 2**256 plus
+    a count — O(1) state instead of O(events), so a shard worker can
+    journal it mid-run (:meth:`state_dict` / :meth:`load_state`), a
+    restarted worker can resume it exactly, and the parent can
+    :meth:`merge` per-shard accumulators into one cluster-wide digest
+    whose value is independent of sharding and interleaving. Addition
+    mod 2**256 is commutative and associative, which is the whole trick.
+
+    Not interchangeable with :func:`multiset_digest` output — the final
+    hex is defined over ``count:sum`` — but has the same identity
+    property: two accumulators agree iff (with overwhelming probability)
+    they absorbed the same multiset of reduced events.
+    """
+
+    _MOD = 1 << 256
+
+    __slots__ = ("_sum", "count", "_wanted", "_unwanted", "_exclude")
+
+    def __init__(
+        self,
+        *,
+        include_types: Iterable[str] | None = None,
+        exclude_types: Iterable[str] | None = None,
+        exclude_fields: tuple[str, ...] = ("t", "seq"),
+    ) -> None:
+        self._sum = 0
+        self.count = 0
+        self._wanted = frozenset(include_types) if include_types is not None else None
+        self._unwanted = (
+            frozenset(exclude_types) if exclude_types is not None else frozenset()
+        )
+        self._exclude = tuple(exclude_fields)
+
+    def add(self, event: dict | str) -> None:
+        """Absorb one event (a dict or canonical line)."""
+        event = json.loads(event) if isinstance(event, str) else dict(event)
+        etype = event.get("type")
+        if self._wanted is not None and etype not in self._wanted:
+            return
+        if etype in self._unwanted:
+            return
+        for name in self._exclude:
+            event.pop(name, None)
+        value = int.from_bytes(
+            hashlib.sha256(canonical_line(event).encode("utf-8")).digest(),
+            "big",
+        )
+        self._sum = (self._sum + value) % self._MOD
+        self.count += 1
+
+    def merge(self, other: "AdditiveMultisetDigest") -> None:
+        """Absorb everything ``other`` absorbed (disjoint-union merge)."""
+        self._sum = (self._sum + other._sum) % self._MOD
+        self.count += other.count
+
+    def state_dict(self) -> dict:
+        """JSON-compatible accumulator state (journal/restart support)."""
+        return {"sum": format(self._sum, "x"), "count": self.count}
+
+    def load_state(self, state: dict) -> None:
+        """Restore accumulator state written by :meth:`state_dict`."""
+        self._sum = int(state["sum"], 16) % self._MOD
+        self.count = int(state["count"])
+
+    def digest(self) -> str:
+        """SHA-256 over ``count:sum`` (hex)."""
+        payload = f"{self.count}:{self._sum:064x}".encode("ascii")
+        return hashlib.sha256(payload).hexdigest()

@@ -19,9 +19,32 @@ class TestParser:
             ["adoption", "--isps", "50"],
             ["spec-check", "--steps", "100", "--cheat"],
             ["zombie", "--limit", "10"],
+            ["cluster", "--shards", "4"],
+            ["cluster", "--mode", "inline", "--epoch-hours", "2"],
         ):
             args = parser.parse_args(command)
             assert args.command == command[0]
+
+    def test_every_subcommand_accepts_seed(self):
+        """Seed handling is uniform: no subcommand hardcodes its RNG."""
+        parser = build_parser()
+        for command in (
+            "quickstart",
+            "breakeven",
+            "compare",
+            "adoption",
+            "spec-check",
+            "zombie",
+            "scenario",
+            "audit",
+            "cluster",
+            "chaos",
+            "overload",
+            "trace",
+            "metrics",
+        ):
+            args = parser.parse_args([command, "--seed", "123"])
+            assert args.seed == 123, f"{command} ignored --seed"
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -136,3 +159,47 @@ class TestTraceCommand:
         names = list(doc["metrics"])
         assert names == sorted(names)
         assert "zmail.deliver.delivered" in doc["metrics"]
+
+
+class TestCluster:
+    _ARGS = [
+        "cluster", "--mode", "inline", "--shards", "2",
+        "--isps", "4", "--users", "6", "--days", "1",
+    ]
+
+    def test_cluster_same_seed_reruns_cmp_identical(self, tmp_path, capsys):
+        """Satellite oracle: same-seed `repro cluster` reruns write
+        byte-identical manifests (and shard count doesn't matter)."""
+        paths = [tmp_path / "a.json", tmp_path / "b.json", tmp_path / "c.json"]
+        for path, shards in zip(paths, ("2", "2", "1")):
+            code = main(
+                self._ARGS[:4] + [shards] + self._ARGS[5:]
+                + ["--seed", "9", "--manifest", str(path)]
+            )
+            assert code == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert paths[0].read_bytes() == paths[2].read_bytes()
+
+    def test_cluster_prints_summary_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(self._ARGS + ["--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "conserved:       True" in out
+        assert "manifest digest:" in out
+        report = json.loads(report_path.read_text())
+        assert report["n_shards"] == 2
+        assert len(report["assignment"]) == 4
+
+    def test_cluster_seed_changes_results(self, tmp_path, capsys):
+        digests = []
+        for seed in ("1", "2"):
+            path = tmp_path / f"seed{seed}.json"
+            assert main(
+                self._ARGS + ["--seed", seed, "--manifest", str(path)]
+            ) == 0
+            digests.append(path.read_bytes())
+        capsys.readouterr()
+        assert digests[0] != digests[1]

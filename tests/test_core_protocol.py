@@ -121,6 +121,38 @@ class TestPoolRebalancing:
         assert net.metrics.counter("bank.sells").value == 3
         assert net.total_value() == net.expected_total_value()
 
+    def test_partial_rebalance_touches_only_subset(self):
+        config = ZmailConfig(initial_pool=100, minavail=200, maxavail=1000)
+        net = make_net(config=config)
+        net.rebalance_pools(isp_ids=[0, 2])
+        assert net.isps[0].ledger.pool == 600
+        assert net.isps[1].ledger.pool == 100  # untouched
+        assert net.isps[2].ledger.pool == 600
+        assert net.metrics.counter("bank.buys").value == 2
+        assert net.total_value() == net.expected_total_value()
+
+    def test_partial_rebalance_skips_flagged_isp_without_aborting(self):
+        """Regression: a bank-flagged ISP in the subset used to abort the
+        round (NotCompliant mid-iteration), and on the sell path the pool
+        was debited before the bank raised — destroying the surplus."""
+        config = ZmailConfig(initial_pool=5000, minavail=200, maxavail=1000)
+        net = make_net(config=config)
+        net.bank.set_compliant(1, False)
+        net.rebalance_pools(isp_ids=[0, 1, 2])
+        assert net.isps[0].ledger.pool == 600
+        assert net.isps[1].ledger.pool == 5000  # skipped, value intact
+        assert net.isps[2].ledger.pool == 600
+        assert net.metrics.counter("bank.sells").value == 2
+        assert net.total_value() == net.expected_total_value()
+
+    def test_partial_rebalance_ignores_unknown_and_noncompliant_ids(self):
+        config = ZmailConfig(initial_pool=100, minavail=200, maxavail=1000)
+        net = make_net(config=config, compliant=[True, True, False])
+        net.rebalance_pools(isp_ids=[1, 2, 99])
+        assert net.isps[1].ledger.pool == 600
+        assert net.metrics.counter("bank.buys").value == 1
+        assert net.total_value() == net.expected_total_value()
+
 
 class TestEngineMode:
     def run_traffic(self, net, engine, n=60):

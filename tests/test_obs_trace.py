@@ -15,6 +15,7 @@ from repro.obs.schema import (
 from repro.obs.spans import NULL_SPANS, SpanRegistry
 from repro.obs.trace import (
     NULL_TRACER,
+    AdditiveMultisetDigest,
     JsonlSink,
     ListSink,
     RingSink,
@@ -159,6 +160,80 @@ class TestMultisetDigest:
     def test_accepts_canonical_lines(self):
         event = {"t": 0.5, "seq": 1, "type": "crash", "node": "bank"}
         assert multiset_digest([event]) == multiset_digest([canonical_line(event)])
+
+
+class TestAdditiveMultisetDigest:
+    EVENTS = [
+        {"t": 1.0, "seq": 1, "type": "send", "src": "a", "dst": "b"},
+        {"t": 2.0, "seq": 2, "type": "deliver", "src": "a", "dst": "b"},
+        {"t": 3.0, "seq": 3, "type": "midnight", "day": 1},
+        {"t": 4.0, "seq": 4, "type": "send", "src": "a", "dst": "b"},
+    ]
+
+    def _absorb(self, events, **kwargs):
+        acc = AdditiveMultisetDigest(**kwargs)
+        for event in events:
+            acc.add(event)
+        return acc
+
+    def test_order_insensitive_and_accepts_lines(self):
+        forward = self._absorb(self.EVENTS)
+        backward = self._absorb(
+            [canonical_line(e) for e in reversed(self.EVENTS)]
+        )
+        assert forward.digest() == backward.digest()
+        assert forward.count == backward.count == 4
+
+    def test_multiplicity_matters(self):
+        one = self._absorb(self.EVENTS[:1])
+        two = self._absorb([self.EVENTS[0], self.EVENTS[3]])
+        assert one.digest() != two.digest()
+
+    def test_merge_equals_absorbing_the_union(self):
+        left = self._absorb(self.EVENTS[:2])
+        right = self._absorb(self.EVENTS[2:])
+        left.merge(right)
+        assert left.digest() == self._absorb(self.EVENTS).digest()
+        assert left.count == 4
+
+    def test_state_roundtrip_resumes_exactly(self):
+        acc = self._absorb(self.EVENTS[:2])
+        resumed = AdditiveMultisetDigest()
+        resumed.load_state(acc.state_dict())
+        for event in self.EVENTS[2:]:
+            acc.add(event)
+            resumed.add(event)
+        assert resumed.digest() == acc.digest()
+
+    def test_include_types_allow_list(self):
+        sends = self._absorb(self.EVENTS, include_types={"send"})
+        assert sends.count == 2
+        assert sends.digest() == self._absorb(
+            [self.EVENTS[0], self.EVENTS[3]], include_types={"send"}
+        ).digest()
+
+    def test_exclude_types_deny_list(self):
+        no_midnight = self._absorb(self.EVENTS, exclude_types=("midnight",))
+        assert no_midnight.count == 3
+        assert no_midnight.digest() == self._absorb(
+            [e for e in self.EVENTS if e["type"] != "midnight"]
+        ).digest()
+
+    def test_exclude_fields_defaults_drop_time_and_seq(self):
+        early = self._absorb([{"t": 1.0, "seq": 1, "type": "send", "src": "a"}])
+        late = self._absorb([{"t": 9.0, "seq": 7, "type": "send", "src": "a"}])
+        assert early.digest() == late.digest()
+        kept = self._absorb(
+            [{"t": 1.0, "seq": 1, "type": "send", "src": "a"}],
+            exclude_fields=(),
+        )
+        assert kept.digest() != early.digest()
+
+    def test_empty_accumulators_agree(self):
+        assert (
+            AdditiveMultisetDigest().digest()
+            == AdditiveMultisetDigest(include_types={"send"}).digest()
+        )
 
 
 class TestSchema:

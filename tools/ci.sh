@@ -17,6 +17,9 @@
 # 5. Runs the built-in seeded overload campaign twice the same way:
 #    every cell must keep the overload monitors green (bounded queues,
 #    no lost accounting) and the two reports must be byte-identical.
+# 6. Runs the cluster determinism smoke: the same seeded scenario at 1
+#    and 4 shards (real spawn workers) must produce byte-identical
+#    merged run manifests (cmp), the sharding-invariance contract.
 #
 # The committed reference was measured on a developer machine; raw
 # msgs/sec on other hardware differ, so the default tolerance is loose
@@ -36,11 +39,12 @@ PYTHONPATH=src python -m pytest -x -q
 
 if [ "${CI_COVERAGE:-1}" != "0" ]; then
     COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
-    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%) =="
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster at 90%) =="
     PYTHONPATH=src python tools/coverage_gate.py \
         --target src/repro \
         --floor "${COVERAGE_FLOOR}" \
         --require-100 obs \
+        --require cluster=90 \
         -- -q -p no:cacheprovider
 else
     echo "== coverage gate skipped (CI_COVERAGE=0) =="
@@ -109,5 +113,17 @@ PYTHONPATH=src python -m repro overload --seed "${OVERLOAD_SEED}" \
 cmp /tmp/overload_report_1.json /tmp/overload_report_2.json \
     || { echo "overload campaign is not reproducible"; exit 1; }
 echo "overload campaign reproducible"
+
+CLUSTER_SEED="${CI_CLUSTER_SEED:-9}"
+echo "== cluster determinism smoke (seed ${CLUSTER_SEED}, 1 vs 4 shards) =="
+PYTHONPATH=src python -m repro cluster --seed "${CLUSTER_SEED}" \
+    --shards 1 --isps 8 --users 16 --days 1 \
+    --manifest /tmp/cluster_manifest_1.json
+PYTHONPATH=src python -m repro cluster --seed "${CLUSTER_SEED}" \
+    --shards 4 --isps 8 --users 16 --days 1 \
+    --manifest /tmp/cluster_manifest_4.json >/dev/null
+cmp /tmp/cluster_manifest_1.json /tmp/cluster_manifest_4.json \
+    || { echo "cluster runtime is not shard-invariant"; exit 1; }
+echo "cluster manifests byte-identical across shard counts"
 
 echo "== CI gate passed =="

@@ -12,7 +12,10 @@ checked against two floors:
   justification in the commit);
 * ``--require-100 PREFIX`` — paths (relative to the target) that must be
   *fully* covered; the observability package ships at 100% and stays
-  there.
+  there;
+* ``--require PREFIX=PCT`` — per-subtree floors below 100 (the cluster
+  runtime carries its own 90%% floor inside the wider ``src/repro``
+  target). Repeatable.
 
 Exclusions mirror coverage.py's defaults where they matter here: lines
 inside ``if TYPE_CHECKING:`` blocks and statements marked
@@ -125,10 +128,25 @@ def main(argv: list[str] | None = None) -> int:
         "covered; '.' means the whole target. Repeatable.",
     )
     parser.add_argument(
+        "--require", action="append", default=[], metavar="PREFIX=PCT",
+        help="relative path prefix that must reach PCT%% line coverage "
+        "(e.g. cluster=90). Repeatable.",
+    )
+    parser.add_argument(
         "pytest_args", nargs="*",
         help="arguments passed to pytest (put them after a `--`)",
     )
     args = parser.parse_args(argv)
+
+    floors: dict[str, float] = {}
+    for spec in args.require:
+        prefix, sep, pct = spec.partition("=")
+        if not sep or not prefix:
+            parser.error(f"--require expects PREFIX=PCT, got {spec!r}")
+        try:
+            floors[prefix] = float(pct)
+        except ValueError:
+            parser.error(f"--require expects a numeric PCT, got {spec!r}")
 
     target = os.path.abspath(args.target)
     sources = find_sources(target)
@@ -141,8 +159,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"coverage gate: pytest failed (exit {pytest_exit})", file=sys.stderr)
         return pytest_exit
 
+    def matches(rel: str, prefix: str) -> bool:
+        return (
+            prefix == "."
+            or rel == prefix
+            or rel.startswith(prefix.rstrip("/") + "/")
+        )
+
     total_executable = 0
     total_hit = 0
+    by_prefix: dict[str, list[int]] = {prefix: [0, 0] for prefix in floors}
     failures: list[str] = []
     print(f"\ncoverage gate over {args.target}:")
     for path in sources:
@@ -154,13 +180,29 @@ def main(argv: list[str] | None = None) -> int:
         pct = 100.0 * len(covered) / len(executable) if executable else 100.0
         rel = os.path.relpath(path, target)
         print(f"  {rel:<28} {pct:6.1f}%  ({len(covered)}/{len(executable)})")
-        needs_full = any(
-            prefix == "." or rel == prefix or rel.startswith(prefix.rstrip("/") + "/")
-            for prefix in args.require_100
-        )
+        for prefix, tally in by_prefix.items():
+            if matches(rel, prefix):
+                tally[0] += len(executable)
+                tally[1] += len(covered)
+        needs_full = any(matches(rel, prefix) for prefix in args.require_100)
         if needs_full and missing:
             failures.append(
                 f"{rel}: must be 100% covered, missing lines {missing}"
+            )
+
+    for prefix, (executable_n, hit_n) in sorted(by_prefix.items()):
+        if not executable_n:
+            failures.append(f"--require {prefix}: no measured files match")
+            continue
+        pct = 100.0 * hit_n / executable_n
+        print(
+            f"  {prefix + '/ (floor ' + format(floors[prefix], '.0f') + '%)':<28}"
+            f" {pct:6.1f}%  ({hit_n}/{executable_n})"
+        )
+        if pct < floors[prefix]:
+            failures.append(
+                f"{prefix}: coverage {pct:.1f}% below required "
+                f"{floors[prefix]:.1f}%"
             )
 
     overall = 100.0 * total_hit / total_executable if total_executable else 100.0
