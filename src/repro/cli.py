@@ -209,6 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--tail", type=int, default=0, metavar="N",
         help="print the last N trace lines to stdout",
     )
+    trace.add_argument(
+        "--mode", choices=("direct", "columnar", "engine_stream"),
+        default="direct",
+        help="executor driving the canonical scenario (default direct)",
+    )
+    trace.add_argument(
+        "--invariant-manifest", metavar="PATH", default=None,
+        help="also write the executor-invariant manifest here; the file "
+        "is byte-identical across --mode values for the same seed",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -507,13 +517,13 @@ def cmd_overload(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from .obs.canonical import run_canonical
+    from .obs.canonical import invariant_manifest, run_canonical
     from .obs.schema import validate_trace_lines
     from .obs.trace import ListSink
 
     sink = ListSink()
     result, recorder, exporter, manifest = run_canonical(
-        seed=args.seed, sink=sink
+        seed=args.seed, sink=sink, mode=args.mode
     )
     lines = sink.lines()
     validate_trace_lines(lines)
@@ -526,6 +536,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if manifest_path:
         with open(manifest_path, "w", encoding="utf-8") as handle:
             handle.write(manifest.to_json())
+    if args.invariant_manifest:
+        invariant = invariant_manifest(seed=args.seed, mode=args.mode)
+        with open(args.invariant_manifest, "w", encoding="utf-8") as handle:
+            handle.write(invariant.to_json())
     if args.tail > 0:
         for line in lines[-args.tail:]:
             print(line)

@@ -55,7 +55,7 @@ from ..core.scenario import Scenario
 from ..core.zombie import ZombieMonitor
 from ..errors import SimulationError
 from ..obs.schema import LEDGER_EVENT_TYPES
-from ..obs.trace import AdditiveMultisetDigest, TraceRecorder
+from ..obs.trace import AdditiveMultisetDigest, DigestSink, TraceRecorder
 from ..sim.rng import SeededStreams, derive_seed
 from ..sim.workload import merge_workloads
 from .links import (
@@ -99,20 +99,6 @@ class ShardSpec:
         return os.path.join(self.journal_dir, f"shard{self.shard_id}.json")
 
 
-class _DigestSink:
-    """Trace sink feeding the worker's mergeable digest accumulators."""
-
-    __slots__ = ("_accumulators",)
-
-    def __init__(self, *accumulators: AdditiveMultisetDigest) -> None:
-        self._accumulators = accumulators
-
-    def accept(self, line: str) -> None:
-        event = json.loads(line)
-        for accumulator in self._accumulators:
-            accumulator.add(event)
-
-
 class ShardWorker:
     """The shard state machine; transport-agnostic (see :func:`worker_entry`)."""
 
@@ -138,7 +124,7 @@ class ShardWorker:
         tracer = None
         if spec.traced:
             tracer = TraceRecorder(
-                sink=_DigestSink(self.events_acc, self.ledger_acc)
+                sink=DigestSink(self.events_acc, self.ledger_acc)
             )
         self.network = ZmailNetwork(
             n_isps=scenario.n_isps,

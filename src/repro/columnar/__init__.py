@@ -1,0 +1,24 @@
+"""Columnar struct-of-arrays batch executor (the ``columnar`` drive mode).
+
+Pushes the direct-mode hot path toward millions of messages per second
+by executing time-sorted workload chunks as vectorized masked numpy
+operations over flat per-user/per-ISP arrays, while keeping the object
+layer (``ZmailNetwork``/``ISP``/ledger) the source of truth at every
+protocol-visible boundary. See DESIGN.md §10.
+
+* :mod:`~repro.columnar.plan` — column-stream merge into sorted chunks;
+* :mod:`~repro.columnar.state` — the array mirror with spill/refresh;
+* :mod:`~repro.columnar.executor` — classification, vector apply and
+  the contended scalar residual.
+"""
+
+from .executor import run_columnar
+from .plan import ChunkPlan, merge_column_streams
+from .state import ColumnarState
+
+__all__ = [
+    "run_columnar",
+    "ChunkPlan",
+    "merge_column_streams",
+    "ColumnarState",
+]

@@ -25,12 +25,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import SimulationError
+from ..obs.manifest import accounting_digest
 from ..sim.clock import DAY
 from ..sim.rng import SeededStreams
 from ..sim.workload import (
     Address,
     NormalUserWorkload,
     SpamCampaignWorkload,
+    TrafficKind,
     ZombieBurstWorkload,
     merge_workloads,
 )
@@ -79,6 +82,11 @@ class ScenarioResult:
     zombie_detections: list[ZombieDetection]
     reconciliations: list[ReconciliationReport]
     conserved: bool
+    # Accounting digest after every reconciliation cut (direct and
+    # columnar modes; empty in engine modes, whose midnight/reconcile
+    # ordering at a shared boundary legitimately differs mid-cut). Kept
+    # out of summary() so engine-mode summaries stay mode-invariant.
+    cut_digests: list[str] = field(default_factory=list)
 
     @property
     def all_reconciliations_consistent(self) -> bool:
@@ -132,6 +140,12 @@ class Scenario:
     # fast path) instead of materializing one heap event per message.
     # Both settings produce identical results for the same seed.
     engine_streaming: bool = True
+    # Columnar mode: direct-mode semantics executed by the vectorized
+    # struct-of-arrays batch executor (repro.columnar). Requires numpy
+    # and an all-compliant deployment; produces accounting bit-identical
+    # to direct mode (tested and benchmarked). Mutually exclusive with
+    # engine_mode.
+    columnar: bool = False
     link: object | None = None  # sim.LinkSpec; object to avoid hard import
     # Observability (repro.obs): an optional TraceRecorder threaded into
     # the deployment (every ledger event is emitted through it) and an
@@ -219,8 +233,63 @@ class Scenario:
     def _workload_streams(self, streams: SeededStreams):
         return self.workload_streams(streams)
 
+    def workload_column_streams(self, streams: SeededStreams):
+        """The scenario's traffic as ``(kind, column-chunk iterator)`` pairs.
+
+        The mirror of :meth:`workload_streams` for the columnar executor:
+        same workload constructors, same stream names and spawns, so the
+        RNG draws — and therefore the traffic — are identical to the
+        object path by construction.
+        """
+        column_streams = []
+        if self.normal_rate_per_day > 0:
+            normal = NormalUserWorkload(
+                n_isps=self.n_isps,
+                users_per_isp=self.users_per_isp,
+                rate_per_day=self.normal_rate_per_day,
+                streams=streams,
+            )
+            column_streams.append(
+                (TrafficKind.NORMAL, normal.generate_columns(self.duration))
+            )
+        for index, spec in enumerate(self.spammers):
+            spawned = streams.spawn(f"spam{index}")
+            workload = SpamCampaignWorkload(
+                spammer=spec.address,
+                n_isps=self.n_isps,
+                users_per_isp=self.users_per_isp,
+                volume=spec.volume,
+                start=spec.start,
+                duration=spec.duration,
+                streams=spawned,
+            )
+            column_streams.append((TrafficKind.SPAM, workload.generate_columns()))
+        for index, spec in enumerate(self.zombies):
+            spawned = streams.spawn(f"zombie{index}")
+            workload = ZombieBurstWorkload(
+                zombie=spec.address,
+                n_isps=self.n_isps,
+                users_per_isp=self.users_per_isp,
+                rate_per_hour=spec.rate_per_hour,
+                start=spec.start,
+                end=spec.end,
+                streams=spawned,
+            )
+            column_streams.append(
+                (TrafficKind.ZOMBIE, workload.generate_columns())
+            )
+        return column_streams
+
     def run(self) -> ScenarioResult:
         """Execute the scenario and collect the result."""
+        if self.columnar:
+            if self.engine_mode:
+                raise SimulationError(
+                    "columnar and engine modes are mutually exclusive"
+                )
+            from ..columnar.executor import run_columnar
+
+            return run_columnar(self)
         if self.engine_mode:
             return self._run_engine()
         network = self.build_network()
@@ -233,6 +302,7 @@ class Scenario:
         requests = merge_workloads(*self._workload_streams(streams))
 
         reconciliations: list[ReconciliationReport] = []
+        cut_digests: list[str] = []
         next_reconcile = (
             self.reconcile_every if self.reconcile_every > 0 else None
         )
@@ -241,14 +311,18 @@ class Scenario:
             for request in requests:
                 if next_reconcile is not None and request.time >= next_reconcile:
                     reconciliations.append(network.reconcile("direct"))
+                    cut_digests.append(accounting_digest(network))
                     next_reconcile += self.reconcile_every
                 network.note_time(request.time)
                 network.send(request.sender, request.recipient, request.kind)
                 attempted += 1
         network.note_time(self.duration)
         reconciliations.append(network.reconcile("direct"))
+        cut_digests.append(accounting_digest(network))
         monitor.poll()
-        return self._collect(network, monitor, attempted, reconciliations)
+        result = self._collect(network, monitor, attempted, reconciliations)
+        result.cut_digests = cut_digests
+        return result
 
     def _run_engine(self) -> ScenarioResult:
         from ..sim.engine import Engine

@@ -19,6 +19,7 @@ byte-identical files (CI compares them with ``cmp``).
 from .manifest import (
     MANIFEST_FORMAT_VERSION,
     RunManifest,
+    accounting_digest,
     build_manifest,
     config_digest,
 )
@@ -40,6 +41,7 @@ from .trace import (
     NULL_TRACER,
     TRACE_FORMAT_VERSION,
     AdditiveMultisetDigest,
+    DigestSink,
     JsonlSink,
     ListSink,
     RingSink,
@@ -56,6 +58,7 @@ __all__ = [
     "RingSink",
     "ListSink",
     "JsonlSink",
+    "DigestSink",
     "NULL_TRACER",
     "canonical_line",
     "multiset_digest",
@@ -68,6 +71,7 @@ __all__ = [
     "RunManifest",
     "build_manifest",
     "config_digest",
+    "accounting_digest",
     "EVENT_TYPES",
     "LEDGER_EVENT_TYPES",
     "TraceSchemaError",

@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from .metrics_export import METRICS_FORMAT_VERSION
 from .trace import TRACE_FORMAT_VERSION
 
-__all__ = ["MANIFEST_FORMAT_VERSION", "RunManifest", "config_digest", "build_manifest"]
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "RunManifest",
+    "accounting_digest",
+    "config_digest",
+    "build_manifest",
+]
 
 #: Bumped when manifest fields or their digest definition change.
 MANIFEST_FORMAT_VERSION = 1
@@ -50,6 +56,36 @@ def config_digest(config) -> str:
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def accounting_digest(network) -> str:
+    """SHA-256 over every balance in the system, for determinism checks.
+
+    Covers per-user (account, balance) pairs, ISP pools and cash, bank
+    accounts, letters in flight and both sides of the conservation audit.
+    Two runs agree on this digest iff they agree on all money movement.
+    The macro benchmark, the cross-executor tests and the per-cut
+    assertions of the columnar mode all compare this digest.
+    """
+    state: dict[str, object] = {
+        "in_flight": network.paid_letters_in_flight,
+        "total_value": network.total_value(),
+        "expected_total_value": network.expected_total_value(),
+        "bank_deposits": network.bank.total_deposits(),
+        "isps": {},
+    }
+    for isp_id, isp in sorted(network.compliant_isps().items()):
+        ledger = isp.ledger
+        state["isps"][str(isp_id)] = {
+            "users": [
+                (u.user_id, u.account, u.balance) for u in ledger.users()
+            ],
+            "pool": ledger.pool,
+            "cash": ledger.cash,
+            "bank_account": network.bank.account_balance(isp_id),
+        }
+    blob = json.dumps(state, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 @dataclass

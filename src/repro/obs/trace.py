@@ -33,6 +33,7 @@ __all__ = [
     "ListSink",
     "JsonlSink",
     "NULL_TRACER",
+    "DigestSink",
     "canonical_line",
     "multiset_digest",
     "AdditiveMultisetDigest",
@@ -111,6 +112,27 @@ class ListSink:
 
     def __len__(self) -> int:
         return len(self._lines)
+
+
+class DigestSink:
+    """Feeds every event into one or more digest accumulators, O(1) memory.
+
+    The sink for runs whose trace is only wanted as a digest — the
+    cluster workers and the cross-executor determinism checks. Each
+    accepted line is parsed once and offered to every accumulator
+    (typically :class:`AdditiveMultisetDigest` instances with different
+    type filters).
+    """
+
+    __slots__ = ("_accumulators",)
+
+    def __init__(self, *accumulators) -> None:
+        self._accumulators = accumulators
+
+    def accept(self, line: str) -> None:
+        event = json.loads(line)
+        for accumulator in self._accumulators:
+            accumulator.add(event)
 
 
 class JsonlSink:

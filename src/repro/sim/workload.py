@@ -17,6 +17,14 @@ staying lazy (constant memory per stream) and deterministic per seed. The
 numpy and pure-python paths are *both* deterministic, but they draw from
 differently named streams and therefore produce different (equally valid)
 traffic for the same seed; a given host always takes the same path.
+
+Each generator also exposes ``generate_columns()`` — the same traffic as
+column chunks ``(times, sender_gids, recipient_gids)`` of parallel numpy
+arrays, where a *gid* is the flat user index ``isp * users_per_isp +
+user``. The object path (``_generate_numpy``) is a thin wrapper that
+expands those columns into :class:`SendRequest` records, so the columnar
+batch executor (:mod:`repro.columnar`) and the object executors consume
+byte-identical traffic from identical RNG draws by construction.
 """
 
 from __future__ import annotations
@@ -145,35 +153,81 @@ class NormalUserWorkload:
             recipient = pick_stream.choice(contacts)
             yield SendRequest(t, sender, recipient, TrafficKind.NORMAL)
 
-    def _generate_numpy(self, duration: float) -> Iterator[SendRequest]:
-        # One exponential/integer/uniform array per _CHUNK arrivals; the
-        # per-message work left in python is dict lookups and the
-        # SendRequest allocation itself.
+    def _contact_table(self):
+        """Contact lists as a gid matrix + per-sender counts (column path).
+
+        The per-sender contact streams are independently named, so
+        materializing them eagerly here draws exactly the same values as
+        the lazy per-sender lookups on the object path.
+        """
+        import numpy as np
+
+        n = len(self._population)
+        counts = np.zeros(n, dtype=np.int64)
+        table = np.zeros((n, max(1, self.contacts_per_user)), dtype=np.int64)
+        users_per_isp = self.users_per_isp
+        for index, sender in enumerate(self._population):
+            contacts = self._contacts_of(sender)
+            counts[index] = len(contacts)
+            for slot, contact in enumerate(contacts):
+                table[index, slot] = contact.isp * users_per_isp + contact.user
+        return table, counts
+
+    def generate_columns(self, duration: float):
+        """Yield ``(times, sender_gids, recipient_gids)`` column chunks.
+
+        Same RNG streams, same draw order and same cutoff semantics as
+        :meth:`_generate_numpy`; requires numpy.
+        """
+        import numpy as np
+
+        if self.rate_per_day == 0:
+            return
         rng = self._streams.get_numpy(f"{self.name}:arrivals")
-        population = self._population
-        n_population = len(population)
+        n_population = len(self._population)
         total_rate = self.rate_per_day * n_population / DAY
-        contacts_of = self._contacts_of
-        normal = TrafficKind.NORMAL
+        table, counts = self._contact_table()
         t = 0.0
         while True:
             gaps = rng.exponential(1.0 / total_rate, size=_CHUNK)
             times = gaps.cumsum()
             times += t
             t = float(times[-1])
-            sender_indices = rng.integers(0, n_population, size=_CHUNK)
+            senders = rng.integers(0, n_population, size=_CHUNK)
             picks = rng.random(size=_CHUNK)
-            for when, sender_index, pick in zip(
-                times.tolist(), sender_indices.tolist(), picks.tolist()
+            # Stop at the first arrival past the horizon, like the object
+            # path's early return (times are monotone within a chunk).
+            limit = int(np.searchsorted(times, duration, side="left"))
+            times = times[:limit]
+            senders = senders[:limit]
+            picks = picks[:limit]
+            n_contacts = counts[senders]
+            keep = n_contacts > 0
+            if not keep.all():
+                # Senders without contacts consume their draws but emit
+                # nothing — identical to the object path's ``continue``.
+                times = times[keep]
+                senders = senders[keep]
+                picks = picks[keep]
+                n_contacts = n_contacts[keep]
+            recipients = table[senders, (picks * n_contacts).astype(np.int64)]
+            if len(times):
+                yield times, senders.astype(np.int64), recipients
+            if limit < _CHUNK:
+                return
+
+    def _generate_numpy(self, duration: float) -> Iterator[SendRequest]:
+        # The columns carry the RNG logic; the per-message work left in
+        # python is the list lookups and the SendRequest allocation.
+        population = self._population
+        normal = TrafficKind.NORMAL
+        for times, senders, recipients in self.generate_columns(duration):
+            for when, sender, recipient in zip(
+                times.tolist(), senders.tolist(), recipients.tolist()
             ):
-                if when >= duration:
-                    return
-                sender = population[sender_index]
-                contacts = contacts_of(sender)
-                if not contacts:
-                    continue
-                recipient = contacts[int(pick * len(contacts))]
-                yield SendRequest(when, sender, recipient, normal)
+                yield SendRequest(
+                    when, population[sender], population[recipient], normal
+                )
 
 
 class SpamCampaignWorkload:
@@ -205,6 +259,7 @@ class SpamCampaignWorkload:
         self.volume = volume
         self.start = start
         self.duration = duration
+        self.users_per_isp = users_per_isp
         self._streams = streams
         self.name = name
         self._population = [
@@ -233,18 +288,37 @@ class SpamCampaignWorkload:
             recipient = pick.choice(self._population)
             yield SendRequest(t, self.spammer, recipient, TrafficKind.SPAM)
 
-    def _generate_numpy(self) -> Iterator[SendRequest]:
+    def generate_columns(self):
+        """Yield the campaign as one ``(times, senders, recipients)`` chunk."""
+        import numpy as np
+
+        if not self._population or self.volume == 0:
+            return
         rng = self._streams.get_numpy(f"{self.name}:times")
-        population = self._population
         times = rng.uniform(
             self.start, self.start + self.duration, size=self.volume
         )
         times.sort()
-        targets = rng.integers(0, len(population), size=self.volume)
+        targets = rng.integers(0, len(self._population), size=self.volume)
+        # The population excludes the spammer, so gids at or past the
+        # spammer's slot shift up by one.
+        spammer_gid = self.spammer.isp * self.users_per_isp + self.spammer.user
+        recipients = targets + (targets >= spammer_gid)
+        senders = np.full(self.volume, spammer_gid, dtype=np.int64)
+        yield times, senders, recipients
+
+    def _generate_numpy(self) -> Iterator[SendRequest]:
+        users_per_isp = self.users_per_isp
         spammer = self.spammer
         spam = TrafficKind.SPAM
-        for when, target in zip(times.tolist(), targets.tolist()):
-            yield SendRequest(when, spammer, population[target], spam)
+        for times, _senders, recipients in self.generate_columns():
+            for when, recipient in zip(times.tolist(), recipients.tolist()):
+                yield SendRequest(
+                    when,
+                    spammer,
+                    Address(recipient // users_per_isp, recipient % users_per_isp),
+                    spam,
+                )
 
 
 class ZombieBurstWorkload:
@@ -275,6 +349,7 @@ class ZombieBurstWorkload:
         self.rate_per_hour = rate_per_hour
         self.start = start
         self.end = end
+        self.users_per_isp = users_per_isp
         self._streams = streams
         self.name = name
         self._population = [
@@ -304,13 +379,16 @@ class ZombieBurstWorkload:
             recipient = pick.choice(self._population)
             yield SendRequest(t, self.zombie, recipient, TrafficKind.ZOMBIE)
 
-    def _generate_numpy(self) -> Iterator[SendRequest]:
+    def generate_columns(self):
+        """Yield ``(times, senders, recipients)`` chunks for the burst."""
+        import numpy as np
+
+        if not self._population:
+            return
         rng = self._streams.get_numpy(f"{self.name}:arrivals")
-        population = self._population
-        n_population = len(population)
+        n_population = len(self._population)
         scale = 3600.0 / self.rate_per_hour
-        zombie = self.zombie
-        kind = TrafficKind.ZOMBIE
+        zombie_gid = self.zombie.isp * self.users_per_isp + self.zombie.user
         end = self.end
         t = self.start
         while True:
@@ -319,10 +397,28 @@ class ZombieBurstWorkload:
             times += t
             t = float(times[-1])
             targets = rng.integers(0, n_population, size=_CHUNK)
-            for when, target in zip(times.tolist(), targets.tolist()):
-                if when >= end:
-                    return
-                yield SendRequest(when, zombie, population[target], kind)
+            limit = int(np.searchsorted(times, end, side="left"))
+            times = times[:limit]
+            targets = targets[:limit]
+            recipients = targets + (targets >= zombie_gid)
+            senders = np.full(limit, zombie_gid, dtype=np.int64)
+            if limit:
+                yield times, senders, recipients
+            if limit < _CHUNK:
+                return
+
+    def _generate_numpy(self) -> Iterator[SendRequest]:
+        users_per_isp = self.users_per_isp
+        zombie = self.zombie
+        kind = TrafficKind.ZOMBIE
+        for times, _senders, recipients in self.generate_columns():
+            for when, recipient in zip(times.tolist(), recipients.tolist()):
+                yield SendRequest(
+                    when,
+                    zombie,
+                    Address(recipient // users_per_isp, recipient % users_per_isp),
+                    kind,
+                )
 
 
 def merge_workloads(*iterators: Iterator[SendRequest]) -> Iterator[SendRequest]:

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.apn",
     "repro.smtp",
     "repro.sim",
+    "repro.columnar",
     "repro.economics",
     "repro.baselines",
     "repro.crypto",

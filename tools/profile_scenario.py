@@ -10,6 +10,7 @@ path rather than a guess.
 Usage::
 
     python tools/profile_scenario.py                       # 100k, direct
+    python tools/profile_scenario.py --mode columnar
     python tools/profile_scenario.py --mode engine_stream
     python tools/profile_scenario.py --top 40 --sort tottime
     python tools/profile_scenario.py --output /tmp/run.pstats
@@ -67,6 +68,8 @@ def main() -> None:
     elif args.mode == "engine_events":
         scenario.engine_mode = True
         scenario.engine_streaming = False
+    elif args.mode == "columnar":
+        scenario.columnar = True
 
     profiler = cProfile.Profile()
     start = time.perf_counter()
