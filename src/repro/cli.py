@@ -12,7 +12,8 @@ the system work without writing code:
 * ``scenario``    — kitchen-sink mixed simulation via the Scenario API.
 * ``audit``       — the solvency audit catching an e-penny-minting ISP.
 * ``cluster``     — sharded multi-process run in deterministic epoch
-  lockstep; the merged manifest is bit-identical across shard counts.
+  lockstep or bounded-lag asynchrony; the merged manifest is
+  bit-identical across shard counts and drive modes.
 * ``chaos``       — fault-injection campaign with invariant monitors.
 * ``overload``    — burst/flood campaign against the overload-protection
   layer (admission control, bounded queues, circuit breakers).
@@ -98,8 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster = sub.add_parser(
         "cluster",
         help="sharded multi-process run: ISPs partitioned across worker "
-        "processes in deterministic epoch lockstep; results are "
-        "bit-identical across shard counts",
+        "processes in deterministic epoch lockstep or bounded-lag "
+        "asynchrony (--lag K); results are bit-identical across shard "
+        "counts and drive modes",
     )
     cluster.add_argument(
         "--shards", type=int, default=4,
@@ -122,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("spawn", "inline"), default="spawn",
         help="spawn real worker processes (default) or drive the same "
         "workers in-process",
+    )
+    cluster.add_argument(
+        "--lag", type=int, default=0, metavar="K",
+        help="bounded-lag asynchronous drive: shards may run up to K "
+        "epochs apart, with streaming reconciliation (default 0 = "
+        "epoch-barriered lockstep); results do not depend on it",
     )
     cluster.add_argument(
         "--journal-dir", metavar="PATH", default=None,
@@ -450,6 +458,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             epoch_len=args.epoch_hours * HOUR,
             mode=args.mode,
             journal_dir=args.journal_dir,
+            lag=args.lag,
         )
     )
     if args.manifest:
@@ -461,7 +470,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 json.dumps(result.report, sort_keys=True, indent=2) + "\n"
             )
     extra = result.manifest.extra
-    print(f"shards:          {args.shards} ({args.mode})")
+    drive = "lockstep" if args.lag == 0 else f"bounded-lag K={args.lag}"
+    print(f"shards:          {args.shards} ({args.mode}, {drive})")
     print(f"cycles:          {result.report['cycles']} "
           f"x {args.epoch_hours}h epochs")
     print(f"sends attempted: {extra['sends_attempted']}")

@@ -39,6 +39,12 @@ from .misbehavior import (
     verify_credit_matrix,
 )
 from .persistence import checkpoint, dumps, loads, restore
+from .reconcile import (
+    PairDeltaStream,
+    ReconcileError,
+    StaleWindowError,
+    StreamingReconciler,
+)
 from .protocol import ZmailNetwork
 from .scenario import Scenario, ScenarioResult, SpammerSpec, ZombieSpec
 from .snapshot import (
@@ -92,6 +98,10 @@ __all__ = [
     "ReconciliationReport",
     "verify_credit_matrix",
     "infer_suspects",
+    "PairDeltaStream",
+    "ReconcileError",
+    "StaleWindowError",
+    "StreamingReconciler",
     "ZmailNetwork",
     "Scenario",
     "ScenarioResult",

@@ -1,0 +1,497 @@
+"""Streaming, barrier-free §4.4 reconciliation.
+
+The lockstep path quiesces the whole deployment, merges every ISP's
+snapshot reply into one credit matrix, and verifies it in a single
+batch (:meth:`~repro.core.bank.Bank.reconcile`). This module replaces
+that global synchronization point with **per-ISP-pair sequence-numbered
+credit-delta streams** verified as they arrive:
+
+* Each reconciliation *window* ``w`` (the w-th cut of the run) carries,
+  per reporter ISP, a set of per-peer credit **deltas** — exactly what
+  :meth:`CompliantISP.snapshot_reply` already returns, since the reply
+  resets the credit array for the next period.
+* A delta is addressed ``(reporter, peer, window)``; the window index is
+  the stream's sequence number. Deltas for different windows may arrive
+  **interleaved and out of order** — windows accumulate independently.
+* A reporter **seals** a window when its report for that window is
+  complete; unreported pairs then default to zero, matching
+  :func:`~repro.core.misbehavior.verify_credit_matrix`.
+* Windows **close strictly in order** (window ``w`` closes only after
+  ``w-1``), once every reporter sealed it and — when conservation
+  sources are configured — every source reported its
+  ``(total_value, expected_total_value)`` pair. Closing runs the full
+  §4.4 anti-symmetry verification plus the conservation check and
+  produces a :class:`~repro.core.misbehavior.ReconciliationReport`
+  identical to what the lockstep merge would have produced.
+
+Disorder is classified exactly three ways (the contract the property
+tests pin):
+
+* **dup-drop** — a delta, seal or totals record that was already
+  applied (or whose window already closed, e.g. a crash-replayed
+  report) is dropped and counted, never an error;
+* **gap-stall** — an out-of-order seal (window ``w+1`` sealed before
+  ``w``) or a one-sided pair simply stalls window closure; nothing is
+  lost, the window waits for its predecessors;
+* **window-expiry fault** — when the observed frontier (the highest
+  window index seen anywhere) runs more than ``max_lag`` windows ahead
+  of the oldest still-open window, the staleness bound is violated:
+  a :class:`StaleWindowError` under ``strict``, a recorded fault
+  otherwise.
+
+A duplicate that *disagrees* with the recorded value, a delta arriving
+after its reporter sealed the window, or an unregistered reporter/peer
+are **conflict faults**: evidence of misbehaviour, not disorder.
+
+The verifier never touches accounting state — like the snapshot cut it
+replaces, it is a pure observer — which is why the bounded-lag cluster
+mode built on it converges to byte-identical final digests (DESIGN.md
+§11, the lockstep-as-oracle contract).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import SimulationError
+from .misbehavior import (
+    ReconciliationReport,
+    infer_suspects,
+    verify_credit_matrix,
+)
+
+__all__ = [
+    "ReconcileError",
+    "StaleWindowError",
+    "PairDeltaStream",
+    "StreamingReconciler",
+]
+
+
+class ReconcileError(SimulationError):
+    """A delta-stream protocol violation (conflict, unknown party, ...)."""
+
+
+class StaleWindowError(ReconcileError):
+    """An open window fell more than ``max_lag`` behind the frontier."""
+
+
+class PairDeltaStream:
+    """One directed ``reporter → peer`` credit-delta stream.
+
+    Tracks the applied delta per window so duplicates can be told apart
+    from conflicts while the window is still open. Closed windows are
+    forgotten (:meth:`forget`) — a duplicate for a closed window is
+    dropped unverified, the price of bounded memory.
+    """
+
+    __slots__ = ("reporter", "peer", "_values")
+
+    def __init__(self, reporter: int, peer: int) -> None:
+        self.reporter = reporter
+        self.peer = peer
+        self._values: dict[int, int] = {}
+
+    def offer(self, window: int, delta: int) -> str:
+        """Record one delta; returns ``"applied"``, ``"duplicate"`` or
+        ``"conflict"``."""
+        recorded = self._values.get(window)
+        if recorded is None:
+            self._values[window] = delta
+            return "applied"
+        return "duplicate" if recorded == delta else "conflict"
+
+    def value(self, window: int) -> int | None:
+        """The applied delta for ``window``, or ``None`` if none yet."""
+        return self._values.get(window)
+
+    def forget(self, window: int) -> None:
+        """Release ``window``'s value (called when the window closes)."""
+        self._values.pop(window, None)
+
+
+class _Window:
+    """Accumulation state for one not-yet-closed window."""
+
+    __slots__ = ("claims", "totals", "sealed")
+
+    def __init__(self) -> None:
+        # reporter → {peer: delta} (explicit claims only; zeros implied
+        # at closure for unreported pairs, per verify_credit_matrix).
+        self.claims: dict[int, dict[int, int]] = {}
+        # conservation source → (total_value, expected_total_value)
+        self.totals: dict[int, tuple[int, int]] = {}
+        self.sealed: set[int] = set()
+
+
+class StreamingReconciler:
+    """Incremental §4.4 verifier over per-pair delta streams.
+
+    Args:
+        reporters: The compliant directory — every ISP expected to seal
+            every window. Deltas naming parties outside it are conflict
+            faults.
+        max_lag: Bounded-staleness window: the frontier may run at most
+            this many windows ahead of the oldest open window.
+        totals_sources: Conservation reporters (cluster shards). When
+            set, a window also waits for every source's totals before
+            closing, and closure checks Σ total == Σ expected. ``None``
+            disables the conservation gate.
+        strict: Raise on faults (:class:`ReconcileError` /
+            :class:`StaleWindowError`) instead of only recording them.
+        tracer: Optional :class:`~repro.obs.trace.TraceRecorder`;
+            emits ``reconcile.delta`` / ``reconcile.window`` /
+            ``reconcile.fault`` events.
+        on_report: Called as ``on_report(report, meta)`` at each window
+            closure, where ``meta`` carries the window index, summed
+            totals and the conservation verdict.
+    """
+
+    def __init__(
+        self,
+        reporters: Iterable[int],
+        *,
+        max_lag: int = 1,
+        totals_sources: Iterable[int] | None = None,
+        strict: bool = True,
+        tracer=None,
+        on_report: Callable[[ReconciliationReport, dict], None] | None = None,
+    ) -> None:
+        self.reporters = frozenset(int(r) for r in reporters)
+        if max_lag < 0:
+            raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+        self.max_lag = int(max_lag)
+        self.totals_sources = (
+            None if totals_sources is None
+            else frozenset(int(s) for s in totals_sources)
+        )
+        self.strict = strict
+        self.tracer = tracer
+        self.on_report = on_report
+        self._streams: dict[tuple[int, int], PairDeltaStream] = {}
+        self._windows: dict[int, _Window] = {}
+        # Per-reporter seal cursor: windows [0, cursor) are sealed.
+        self._seal_next: dict[int, int] = {r: 0 for r in self.reporters}
+        self._pending_seals: dict[int, set[int]] = {
+            r: set() for r in self.reporters
+        }
+        self._next_close = 0
+        self._frontier = -1
+        self._finalized = False
+        self.reports: list[ReconciliationReport] = []
+        self.window_meta: list[dict] = []
+        self.faults: list[dict] = []
+        self.counters: dict[str, int] = {
+            "deltas_applied": 0,
+            "dup_deltas_dropped": 0,
+            "seals_applied": 0,
+            "seals_buffered": 0,
+            "dup_seals_dropped": 0,
+            "totals_applied": 0,
+            "dup_totals_dropped": 0,
+            "pairs_verified_early": 0,
+            "windows_closed": 0,
+            "pairs_verified": 0,
+            "faults": 0,
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def windows_closed(self) -> int:
+        return self._next_close
+
+    @property
+    def open_windows(self) -> list[int]:
+        return sorted(self._windows)
+
+    @property
+    def all_consistent(self) -> bool:
+        """Whether every closed window verified cleanly."""
+        return all(report.consistent for report in self.reports)
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _fault(self, kind: str, detail: dict, *, exc=ReconcileError) -> None:
+        self.counters["faults"] += 1
+        record = {"kind": kind, **detail}
+        self.faults.append(record)
+        if self.tracer is not None:
+            self.tracer.emit("reconcile.fault", kind=kind, **detail)
+        if self.strict:
+            raise exc(f"reconcile fault {kind}: {detail}")
+
+    def _check_party(self, role: str, isp: int) -> bool:
+        if isp in self.reporters:
+            return True
+        self._fault(f"unknown-{role}", {role: isp})
+        return False
+
+    def _observe(self, window: int) -> None:
+        if window > self._frontier:
+            self._frontier = window
+
+    def _check_staleness(self) -> None:
+        # After closures: the message that finally closes a lagging
+        # window must not itself trip the bound it just restored.
+        lag = self._frontier - self._next_close
+        if lag > self.max_lag:
+            self._fault(
+                "window-expiry",
+                {
+                    "window": self._next_close,
+                    "frontier": self._frontier,
+                    "max_lag": self.max_lag,
+                },
+                exc=StaleWindowError,
+            )
+
+    # -- ingest --------------------------------------------------------------
+
+    def _window_state(self, window: int) -> _Window:
+        state = self._windows.get(window)
+        if state is None:
+            state = self._windows[window] = _Window()
+        return state
+
+    def ingest_delta(
+        self, reporter: int, peer: int, window: int, delta: int
+    ) -> str:
+        """Apply one ``(reporter, peer, window)`` credit delta.
+
+        Returns ``"applied"`` or ``"duplicate"``; faults (conflicting
+        duplicate, post-seal delta, unknown party, expired window)
+        raise under ``strict`` and are recorded otherwise.
+        """
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if not (self._check_party("reporter", reporter)
+                and self._check_party("peer", peer)):
+            return "fault"
+        self._observe(window)
+        if window < self._next_close:
+            # The window already closed and its values were forgotten:
+            # a crash-replayed report. Drop it unverified.
+            self.counters["dup_deltas_dropped"] += 1
+            self._check_staleness()
+            return "duplicate"
+        stream = self._streams.get((reporter, peer))
+        if stream is None:
+            stream = self._streams[(reporter, peer)] = PairDeltaStream(
+                reporter, peer
+            )
+        sealed = window < self._seal_next[reporter] or (
+            window in self._pending_seals[reporter]
+        )
+        outcome = "duplicate" if sealed else stream.offer(window, delta)
+        if outcome == "duplicate":
+            if sealed and stream.value(window) != delta:
+                # New or disagreeing information after the reporter
+                # declared the window complete: misbehaviour evidence.
+                self._fault(
+                    "post-seal-delta",
+                    {"reporter": reporter, "peer": peer, "window": window},
+                )
+                return "fault"
+            self.counters["dup_deltas_dropped"] += 1
+            self._check_staleness()
+            return "duplicate"
+        if outcome == "conflict":
+            self._fault(
+                "conflicting-delta",
+                {"reporter": reporter, "peer": peer, "window": window},
+            )
+            return "fault"
+        self._window_state(window).claims.setdefault(reporter, {})[
+            peer
+        ] = delta
+        self.counters["deltas_applied"] += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "reconcile.delta", reporter=reporter, peer=peer, window=window
+            )
+        # Verified as it arrives: the moment both directions of a pair
+        # exist, anti-symmetry is checked eagerly — a misreporting ISP
+        # is visible long before the window closes.
+        reverse = self._streams.get((peer, reporter))
+        if reverse is not None and reverse.value(window) is not None:
+            self.counters["pairs_verified_early"] += 1
+        self._check_staleness()
+        return "applied"
+
+    def seal(self, reporter: int, window: int) -> str:
+        """Mark ``reporter``'s report for ``window`` complete.
+
+        Seals are sequence-numbered per reporter: a seal below the
+        cursor is a dropped duplicate, one above it is buffered until
+        the gap fills (gap-stall), the expected one applies and drains
+        any buffered successors.
+        """
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if not self._check_party("reporter", reporter):
+            return "fault"
+        self._observe(window)
+        cursor = self._seal_next[reporter]
+        if window < cursor:
+            self.counters["dup_seals_dropped"] += 1
+            self._check_staleness()
+            return "duplicate"
+        if window > cursor:
+            pending = self._pending_seals[reporter]
+            if window in pending:
+                self.counters["dup_seals_dropped"] += 1
+                self._check_staleness()
+                return "duplicate"
+            pending.add(window)
+            self.counters["seals_buffered"] += 1
+            self._check_staleness()
+            return "buffered"
+        pending = self._pending_seals[reporter]
+        while True:
+            pending.discard(cursor)
+            self._window_state(cursor).sealed.add(reporter)
+            self.counters["seals_applied"] += 1
+            self._seal_next[reporter] = cursor + 1
+            cursor += 1
+            if cursor not in pending:
+                break
+        self._advance()
+        self._check_staleness()
+        return "applied"
+
+    def ingest_totals(
+        self, source: int, window: int, total_value: int,
+        expected_total_value: int,
+    ) -> str:
+        """Record one conservation source's totals for ``window``."""
+        if (self.totals_sources is not None
+                and source not in self.totals_sources):
+            self._fault("unknown-source", {"source": source, "window": window})
+            return "fault"
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self._observe(window)
+        pair = (int(total_value), int(expected_total_value))
+        if window < self._next_close:
+            self.counters["dup_totals_dropped"] += 1
+            self._check_staleness()
+            return "duplicate"
+        state = self._window_state(window)
+        recorded = state.totals.get(source)
+        if recorded is not None:
+            if recorded != pair:
+                self._fault(
+                    "conflicting-totals", {"source": source, "window": window}
+                )
+                return "fault"
+            self.counters["dup_totals_dropped"] += 1
+            self._check_staleness()
+            return "duplicate"
+        state.totals[source] = pair
+        self.counters["totals_applied"] += 1
+        self._advance()
+        self._check_staleness()
+        return "applied"
+
+    def ingest_report(
+        self, reporter: int, window: int, deltas: dict[int, int]
+    ) -> None:
+        """Bulk ingest: one reporter's full window report, then seal it.
+
+        This is the bridge from snapshot-style replies (the cluster
+        workers' cut records): each ``{peer: delta}`` entry becomes one
+        stream delta, and the seal marks every unlisted pair zero.
+        """
+        for peer in sorted(deltas):
+            self.ingest_delta(reporter, peer, window, deltas[peer])
+        self.seal(reporter, window)
+
+    # -- closure -------------------------------------------------------------
+
+    def _closable(self, window: int) -> bool:
+        state = self._windows.get(window)
+        if state is None or state.sealed != self.reporters:
+            return False
+        if (self.totals_sources is not None
+                and set(state.totals) != self.totals_sources):
+            return False
+        return True
+
+    def _advance(self) -> None:
+        while self._closable(self._next_close):
+            self._close(self._next_close)
+            self._next_close += 1
+
+    def _close(self, window: int) -> None:
+        state = self._windows.pop(window)
+        claims = {
+            reporter: state.claims.get(reporter, {})
+            for reporter in self.reporters
+        }
+        for stream in self._streams.values():
+            stream.forget(window)
+        n = len(claims)
+        inconsistent = verify_credit_matrix(claims)
+        report = ReconciliationReport(
+            round_seq=window,
+            isps_polled=n,
+            pairs_checked=n * (n - 1) // 2,
+            inconsistent=inconsistent,
+            suspects=infer_suspects(inconsistent),
+            settlement_operations=2 * n + n * (n - 1) // 2,
+            settlement_bytes=sum(
+                4 * (len(arr) + 1) for arr in claims.values()
+            ),
+        )
+        self.reports.append(report)
+        total = sum(pair[0] for pair in state.totals.values())
+        expected = sum(pair[1] for pair in state.totals.values())
+        conserved = total == expected
+        meta = {
+            "window": window,
+            "total_value": total,
+            "expected_total_value": expected,
+            "conserved": conserved,
+        }
+        self.window_meta.append(meta)
+        self.counters["windows_closed"] += 1
+        self.counters["pairs_verified"] += report.pairs_checked
+        if self.tracer is not None:
+            self.tracer.emit(
+                "reconcile.window",
+                window=window,
+                consistent=report.consistent,
+                flagged=sorted(report.flagged_isps()),
+            )
+        if self.on_report is not None:
+            self.on_report(report, meta)
+        if not conserved:
+            self._fault(
+                "conservation",
+                {"window": window, "total_value": total,
+                 "expected_total_value": expected},
+            )
+
+    def finalize(self) -> dict:
+        """Declare quiescence: every observed window must have closed.
+
+        Returns the run summary. An open window (missing seals, missing
+        totals or a buffered out-of-order seal) is an ``incomplete``
+        fault — raised under ``strict``.
+        """
+        if not self._finalized:
+            self._finalized = True
+            if self._windows:
+                self._fault(
+                    "incomplete",
+                    {"open_windows": self.open_windows,
+                     "frontier": self._frontier},
+                )
+        return {
+            "windows_closed": self._next_close,
+            "all_consistent": self.all_consistent,
+            "max_lag": self.max_lag,
+            "counters": dict(self.counters),
+            "faults": [dict(f) for f in self.faults],
+        }

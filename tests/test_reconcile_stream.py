@@ -1,0 +1,407 @@
+"""Delta-stream verifier semantics: disorder taxonomy, faults, parity.
+
+The :class:`~repro.core.reconcile.StreamingReconciler` contract pinned
+exactly as DESIGN.md §11 states it — disorder is classified three ways
+and nothing else:
+
+* **dup-drop**: replayed deltas, seals and totals (including ones for
+  already-closed windows) are counted and ignored, never an error;
+* **gap-stall**: out-of-order seals buffer, closure waits for the gap;
+* **window-expiry**: the frontier running more than ``max_lag`` windows
+  ahead of the oldest open window is a :class:`StaleWindowError` under
+  ``strict`` and a recorded fault otherwise.
+
+Everything that is not disorder is a conflict fault (disagreeing
+duplicate, post-seal delta, unknown party, conflicting totals,
+conservation breach, incomplete finalize). The hypothesis suites drive
+arbitrary interleavings with injected duplicates and require the exact
+reports an in-order run produces — plus field-for-field parity with the
+batch :meth:`Bank.reconcile` path on the same claims, the property the
+lockstep-as-oracle argument rests on.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Bank,
+    PairDeltaStream,
+    ReconcileError,
+    StaleWindowError,
+    StreamingReconciler,
+)
+from repro.obs import ListSink, TraceRecorder
+from repro.obs.schema import validate_trace_lines
+
+
+def make(reporters=(0, 1, 2), **kwargs):
+    kwargs.setdefault("max_lag", 8)
+    return StreamingReconciler(reporters, **kwargs)
+
+
+class TestPairDeltaStream:
+    def test_offer_classifies_apply_duplicate_conflict(self):
+        stream = PairDeltaStream(0, 1)
+        assert stream.offer(0, 5) == "applied"
+        assert stream.offer(0, 5) == "duplicate"
+        assert stream.offer(0, 7) == "conflict"
+        assert stream.value(0) == 5
+
+    def test_forget_releases_window_state(self):
+        stream = PairDeltaStream(0, 1)
+        stream.offer(3, -2)
+        stream.forget(3)
+        assert stream.value(3) is None
+        # Forgotten means a replay re-applies rather than conflicting;
+        # the reconciler guards closed windows with its own cursor.
+        assert stream.offer(3, 9) == "applied"
+        stream.forget(4)  # absent window: no-op, not an error
+
+
+class TestHappyPath:
+    def test_in_order_windows_close_in_order(self):
+        ver = make()
+        for window in range(3):
+            for reporter in (0, 1, 2):
+                deltas = {p: (1 if reporter < p else -1)
+                          for p in (0, 1, 2) if p != reporter}
+                ver.ingest_report(reporter, window, deltas)
+            assert ver.windows_closed == window + 1
+        summary = ver.finalize()
+        assert summary["all_consistent"]
+        assert [r.round_seq for r in ver.reports] == [0, 1, 2]
+        assert summary["counters"]["faults"] == 0
+        assert ver.open_windows == []
+
+    def test_eager_pair_verification_counts(self):
+        ver = make((0, 1))
+        ver.ingest_delta(0, 1, 0, 4)
+        assert ver.counters["pairs_verified_early"] == 0
+        ver.ingest_delta(1, 0, 0, -4)
+        assert ver.counters["pairs_verified_early"] == 1
+
+    def test_inconsistent_pair_flags_suspect(self):
+        ver = make((0, 1, 2), strict=True)
+        # Reporter 2 lies to both peers; anti-symmetry breaks on both
+        # of its pairs, so inference singles it out.
+        ver.ingest_report(0, 0, {1: 3, 2: 5})
+        ver.ingest_report(1, 0, {0: -3, 2: 1})
+        ver.ingest_report(2, 0, {0: -4, 1: -2})
+        report = ver.reports[0]
+        assert not report.consistent
+        assert report.suspects == [2]
+        assert not ver.all_consistent
+        # Verification findings are not protocol faults.
+        assert ver.counters["faults"] == 0
+
+    def test_totals_gate_and_conservation(self):
+        closed = []
+        ver = make((0, 1), totals_sources=(0, 1),
+                   on_report=lambda r, m: closed.append(m))
+        ver.ingest_report(0, 0, {1: 2})
+        ver.ingest_report(1, 0, {0: -2})
+        assert ver.windows_closed == 0  # waiting on totals
+        ver.ingest_totals(0, 0, 100, 60)
+        assert ver.windows_closed == 0
+        ver.ingest_totals(1, 0, 20, 60)
+        assert ver.windows_closed == 1
+        assert closed[0] == {
+            "window": 0, "total_value": 120,
+            "expected_total_value": 120, "conserved": True,
+        }
+        assert ver.finalize()["counters"]["faults"] == 0
+
+    def test_finalize_is_idempotent(self):
+        ver = make((0,))
+        ver.ingest_report(0, 0, {})
+        first = ver.finalize()
+        assert first == ver.finalize()
+        assert first["windows_closed"] == 1
+
+
+class TestDupDrop:
+    def test_duplicate_delta_before_and_after_seal(self):
+        ver = make((0, 1))
+        ver.ingest_delta(0, 1, 0, 6)
+        assert ver.ingest_delta(0, 1, 0, 6) == "duplicate"
+        ver.seal(0, 0)
+        # Same value after the seal is still only a replay.
+        assert ver.ingest_delta(0, 1, 0, 6) == "duplicate"
+        assert ver.counters["dup_deltas_dropped"] == 2
+        assert ver.counters["faults"] == 0
+
+    def test_replay_after_window_closed_is_dropped_unverified(self):
+        ver = make((0, 1))
+        ver.ingest_report(0, 0, {1: 6})
+        ver.ingest_report(1, 0, {0: -6})
+        assert ver.windows_closed == 1
+        # The closed window's values were forgotten, so even a
+        # *disagreeing* replay is dropped: bounded memory's price.
+        assert ver.ingest_delta(0, 1, 0, 999) == "duplicate"
+        assert ver.ingest_totals(0, 0, 1, 2) == "duplicate"
+        assert ver.counters["faults"] == 0
+
+    def test_duplicate_seals_and_totals(self):
+        ver = make((0, 1), totals_sources=(0,))
+        ver.seal(0, 0)
+        assert ver.seal(0, 0) == "duplicate"
+        assert ver.seal(0, 2) == "buffered"
+        assert ver.seal(0, 2) == "duplicate"
+        ver.ingest_totals(0, 0, 5, 5)
+        assert ver.ingest_totals(0, 0, 5, 5) == "duplicate"
+        assert ver.counters["dup_seals_dropped"] == 2
+        assert ver.counters["dup_totals_dropped"] == 1
+        assert ver.counters["faults"] == 0
+
+
+class TestGapStall:
+    def test_out_of_order_seal_buffers_then_drains(self):
+        ver = make((0, 1))
+        ver.ingest_report(1, 0, {})
+        ver.ingest_report(1, 1, {})
+        assert ver.seal(0, 1) == "buffered"
+        assert ver.windows_closed == 0  # stalled, nothing lost
+        assert ver.seal(0, 0) == "applied"  # fills the gap ...
+        assert ver.windows_closed == 2  # ... and drains the buffer
+        assert ver.counters["seals_buffered"] == 1
+        assert ver.counters["faults"] == 0
+
+    def test_one_sided_pair_stalls_until_peer_seals(self):
+        ver = make((0, 1))
+        ver.ingest_report(0, 0, {1: 3})
+        assert ver.windows_closed == 0
+        ver.ingest_report(1, 0, {0: -3})
+        assert ver.windows_closed == 1
+
+
+class TestWindowExpiry:
+    def test_strict_raises_stale_window_error(self):
+        ver = make((0, 1), max_lag=1)
+        ver.ingest_delta(0, 1, 0, 1)
+        ver.ingest_delta(0, 1, 1, 1)  # lag 1: at the bound, fine
+        with pytest.raises(StaleWindowError):
+            ver.ingest_delta(0, 1, 2, 1)  # lag 2 > max_lag
+
+    def test_closing_message_does_not_trip_restored_bound(self):
+        ver = make((0, 1), max_lag=0)
+        ver.ingest_report(0, 0, {1: 2})
+        # This reply both observes window 0 and closes it; the bound is
+        # checked after closure, so lag is back to <= 0.
+        ver.ingest_report(1, 0, {0: -2})
+        assert ver.windows_closed == 1
+
+    def test_non_strict_records_fault_and_continues(self):
+        ver = make((0, 1), max_lag=0, strict=False)
+        ver.ingest_delta(0, 1, 0, 1)
+        assert ver.ingest_delta(0, 1, 1, 1) == "applied"
+        assert ver.counters["faults"] >= 1
+        assert ver.faults[0]["kind"] == "window-expiry"
+        assert ver.faults[0]["max_lag"] == 0
+
+
+class TestConflictFaults:
+    def test_disagreeing_duplicate_delta(self):
+        ver = make((0, 1))
+        ver.ingest_delta(0, 1, 0, 5)
+        with pytest.raises(ReconcileError, match="conflicting-delta"):
+            ver.ingest_delta(0, 1, 0, 7)
+
+    def test_post_seal_delta(self):
+        ver = make((0, 1))
+        ver.seal(0, 0)
+        with pytest.raises(ReconcileError, match="post-seal-delta"):
+            ver.ingest_delta(0, 1, 0, 5)
+
+    def test_unknown_parties(self):
+        ver = make((0, 1), totals_sources=(0,))
+        with pytest.raises(ReconcileError, match="unknown-reporter"):
+            ver.ingest_delta(9, 1, 0, 1)
+        with pytest.raises(ReconcileError, match="unknown-peer"):
+            ver.ingest_delta(0, 9, 0, 1)
+        with pytest.raises(ReconcileError, match="unknown-reporter"):
+            ver.seal(9, 0)
+        with pytest.raises(ReconcileError, match="unknown-source"):
+            ver.ingest_totals(9, 0, 1, 1)
+        # Without configured sources there is no registry to violate.
+        assert make((0, 1)).ingest_totals(9, 0, 1, 1) == "applied"
+
+    def test_conflicting_totals(self):
+        ver = make((0, 1), totals_sources=(0, 1))
+        ver.ingest_totals(0, 0, 10, 10)
+        with pytest.raises(ReconcileError, match="conflicting-totals"):
+            ver.ingest_totals(0, 0, 10, 11)
+
+    def test_conservation_breach_faults_at_closure(self):
+        ver = make((0,), totals_sources=(0,), strict=False)
+        ver.ingest_report(0, 0, {})
+        ver.ingest_totals(0, 0, 10, 12)
+        assert ver.windows_closed == 1  # report still produced
+        assert [f["kind"] for f in ver.faults] == ["conservation"]
+        assert ver.window_meta[0]["conserved"] is False
+
+    def test_finalize_with_open_window_is_incomplete(self):
+        ver = make((0, 1))
+        ver.ingest_report(0, 0, {1: 1})
+        with pytest.raises(ReconcileError, match="incomplete"):
+            ver.finalize()
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="max_lag"):
+            StreamingReconciler((0, 1), max_lag=-1)
+        ver = make((0, 1))
+        with pytest.raises(ValueError, match="window"):
+            ver.ingest_delta(0, 1, -1, 1)
+        with pytest.raises(ValueError, match="window"):
+            ver.seal(0, -1)
+        with pytest.raises(ValueError, match="window"):
+            ver.ingest_totals(0, -1, 1, 1)
+
+
+class TestTracing:
+    def test_events_emitted_and_schema_valid(self):
+        sink = ListSink()
+        ver = make((0, 1), strict=False,
+                   tracer=TraceRecorder(sink=sink))
+        ver.ingest_report(0, 0, {1: 2})
+        ver.ingest_report(1, 0, {0: -2})
+        ver.ingest_delta(0, 1, 1, 5)
+        ver.finalize()  # incomplete: window 1 never sealed
+        types = [event["type"] for event in sink.events()]
+        assert types.count("reconcile.delta") == 3
+        assert types.count("reconcile.window") == 1
+        assert "reconcile.fault" in types
+        assert validate_trace_lines(sink.lines()) == len(sink)
+
+
+# -- hypothesis: arbitrary interleavings match the in-order run -------------
+
+def reference_run(n_reporters, claims_per_window, totals_sources=None):
+    """The unshuffled oracle: report windows in order, reporter order."""
+    ver = StreamingReconciler(
+        range(n_reporters), max_lag=len(claims_per_window) + 1,
+        totals_sources=totals_sources,
+    )
+    for window, claims in enumerate(claims_per_window):
+        for reporter in range(n_reporters):
+            ver.ingest_report(reporter, window, claims.get(reporter, {}))
+        if totals_sources is not None:
+            for source in totals_sources:
+                ver.ingest_totals(source, window, 0, 0)
+    return ver
+
+
+def window_claims(draw, n_reporters):
+    """Anti-symmetric ground truth for one window (all pairs honest)."""
+    claims = {r: {} for r in range(n_reporters)}
+    for i in range(n_reporters):
+        for j in range(i + 1, n_reporters):
+            delta = draw(st.integers(min_value=-50, max_value=50))
+            claims[i][j] = delta
+            claims[j][i] = -delta
+    return claims
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_shuffled_streams_with_duplicates_match_in_order_run(data):
+    n_reporters = data.draw(st.integers(min_value=2, max_value=4),
+                            label="n_reporters")
+    n_windows = data.draw(st.integers(min_value=1, max_value=3),
+                          label="n_windows")
+    claims = [window_claims(data.draw, n_reporters)
+              for _ in range(n_windows)]
+
+    # Every disorder the bounded-lag cluster can physically produce:
+    # arbitrary interleaving across streams, arbitrary delta order
+    # within one, replays anywhere after their original. The one thing
+    # a correct sender never does is emit a *new* delta after its own
+    # seal — that is the post-seal-delta conflict, tested separately —
+    # so each stream's queue keeps its seal last.
+    rng = random.Random(data.draw(st.integers(0, 2**32 - 1), label="seed"))
+    queues = []
+    for window in range(n_windows):
+        for reporter in range(n_reporters):
+            deltas = [
+                ("delta", reporter, peer, window, delta)
+                for peer, delta in claims[window][reporter].items()
+            ]
+            rng.shuffle(deltas)
+            queues.append(deltas + [("seal", reporter, window)])
+        queues.append([("totals", window)])
+    messages = []
+    while queues:
+        queue = rng.choice(queues)
+        messages.append(queue.pop(0))
+        if not queue:
+            queues.remove(queue)
+    dup_count = data.draw(
+        st.integers(min_value=0, max_value=len(messages)), label="dups"
+    )
+    for _ in range(dup_count):
+        origin = rng.randrange(len(messages))
+        messages.insert(
+            rng.randint(origin + 1, len(messages)), messages[origin]
+        )
+
+    ver = StreamingReconciler(
+        range(n_reporters), max_lag=n_windows + 1, totals_sources=(0,),
+    )
+    for msg in messages:
+        if msg[0] == "delta":
+            ver.ingest_delta(*msg[1:])
+        elif msg[0] == "seal":
+            ver.seal(*msg[1:])
+        else:
+            ver.ingest_totals(0, msg[1], 0, 0)
+    summary = ver.finalize()
+
+    oracle = reference_run(n_reporters, claims, totals_sources=(0,))
+    assert summary["counters"]["faults"] == 0
+    assert summary["windows_closed"] == n_windows
+    assert summary["all_consistent"]
+    assert ver.reports == oracle.reports
+    assert ver.window_meta == oracle.window_meta
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_streaming_report_matches_batch_bank_reconcile(data):
+    """Field-for-field parity with Bank.reconcile on identical claims.
+
+    Claims here are arbitrary — not necessarily anti-symmetric — so the
+    inconsistency findings and suspects must agree too, not just the
+    clean path.
+    """
+    n = data.draw(st.integers(min_value=1, max_value=4), label="n")
+    claims = {}
+    for reporter in range(n):
+        peers = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1).filter(
+                    lambda p, r=reporter: p != r
+                )
+            ),
+            label=f"peers{reporter}",
+        )
+        claims[reporter] = {
+            peer: data.draw(st.integers(min_value=-20, max_value=20))
+            for peer in sorted(peers)
+        }
+
+    batch_bank, stream_bank = Bank(), Bank()
+    for isp in range(n):
+        batch_bank.register_isp(isp, initial_account=0)
+        stream_bank.register_isp(isp, initial_account=0)
+    batch = batch_bank.reconcile(claims)
+    ver = stream_bank.stream_reconciler()
+    for reporter in range(n):
+        ver.ingest_report(reporter, 0, claims[reporter])
+    ver.finalize()
+
+    assert stream_bank.reports == [batch]  # dataclass equality: all fields
+    assert stream_bank.next_seq == batch_bank.next_seq == 1

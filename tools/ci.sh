@@ -25,7 +25,10 @@
 #    no lost accounting) and the two reports must be byte-identical.
 # 6. Runs the cluster determinism smoke: the same seeded scenario at 1
 #    and 4 shards (real spawn workers) must produce byte-identical
-#    merged run manifests (cmp), the sharding-invariance contract.
+#    merged run manifests (cmp), the sharding-invariance contract —
+#    then again at 4 shards under the bounded-lag asynchronous drive
+#    (--lag 2, streaming reconciliation): its manifest must byte-match
+#    the lockstep one, the lockstep-as-oracle contract.
 # 7. Runs the columnar determinism smoke: the canonical scenario driven
 #    by the columnar batch executor and by the engine must produce
 #    byte-identical executor-invariant manifests (cmp) — ledger event
@@ -51,13 +54,14 @@ PYTHONPATH=src python -m pytest -x -q
 
 if [ "${CI_COVERAGE:-1}" != "0" ]; then
     COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
-    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar at 90%) =="
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/reconcile at 90%) =="
     PYTHONPATH=src python tools/coverage_gate.py \
         --target src/repro \
         --floor "${COVERAGE_FLOOR}" \
         --require-100 obs \
         --require cluster=90 \
         --require columnar=90 \
+        --require core/reconcile.py=90 \
         -- -q -p no:cacheprovider
 else
     echo "== coverage gate skipped (CI_COVERAGE=0) =="
@@ -161,6 +165,14 @@ PYTHONPATH=src python -m repro cluster --seed "${CLUSTER_SEED}" \
 cmp /tmp/cluster_manifest_1.json /tmp/cluster_manifest_4.json \
     || { echo "cluster runtime is not shard-invariant"; exit 1; }
 echo "cluster manifests byte-identical across shard counts"
+
+echo "== bounded-lag determinism smoke (seed ${CLUSTER_SEED}, lockstep vs --lag 2) =="
+PYTHONPATH=src python -m repro cluster --seed "${CLUSTER_SEED}" \
+    --shards 4 --lag 2 --isps 8 --users 16 --days 1 \
+    --manifest /tmp/cluster_manifest_lag.json >/dev/null
+cmp /tmp/cluster_manifest_1.json /tmp/cluster_manifest_lag.json \
+    || { echo "bounded-lag drive diverges from lockstep"; exit 1; }
+echo "bounded-lag manifest byte-identical to lockstep"
 
 COLUMNAR_SEED="${CI_COLUMNAR_SEED:-7}"
 echo "== columnar determinism smoke (seed ${COLUMNAR_SEED}, columnar vs engine_stream) =="
