@@ -16,18 +16,23 @@ The crash model is fail-stop with durable storage:
   are flushed.
 
 Journals round-trip through actual JSON text, not live object graphs, so
-a restart can only see what a real process would find on disk.
+a restart can only see what a real process would find on disk. The text
+is a sealed record (:mod:`repro.store.codec`): canonical JSON plus a
+SHA-256 checksum bound to the node's name, so a corrupted journal —
+truncated, bit-flipped, even a flipped digit that still parses — raises
+:class:`~repro.errors.SimulationError` instead of restoring a wrong
+ledger.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..core import persistence
 from ..core.isp import CompliantISP
 from ..errors import SimulationError
+from ..store.codec import seal, unseal
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .deployment import ChaosDeployment
@@ -101,8 +106,9 @@ class CrashController:
             state = persistence.isp_state(isp)
             deployment.coordinator.on_isp_crash(isp_id)
         # The journal is serialised text from the crash instant — the only
-        # thing a restarted process gets to read.
-        self._journals[node] = json.dumps(state, sort_keys=True)
+        # thing a restarted process gets to read. Sealed with a checksum
+        # so corruption fails loudly at restart.
+        self._journals[node] = seal(state, kind="crash-journal", key=node)
         deployment.net.set_down(node)
         deployment.endpoints[node].close()
         self.crashes += 1
@@ -117,7 +123,9 @@ class CrashController:
         deployment = self.deployment
         if not deployment.net.is_down(node):
             raise SimulationError(f"{node!r} is not down")
-        journal = json.loads(self._journals.pop(node))
+        journal = unseal(
+            self._journals.pop(node), kind="crash-journal", key=node
+        )
         if node == "bank":
             persistence.load_bank_state(deployment.network.bank, journal)
         else:

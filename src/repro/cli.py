@@ -21,6 +21,15 @@ the system work without writing code:
   plus the run manifest (byte-identical across same-seed runs).
 * ``metrics``     — canonical run's unified metrics export (one
   namespaced registry over protocol, overload and gateway counters).
+* ``serve``       — long-running SMTP service over the durable SQLite
+  store: one listener per compliant ISP, periodic barrier commits,
+  restart-safe pending queues.
+* ``selftest``    — operator health check of a durable store: checksum
+  sweep, anti-symmetry/conservation invariants, one live SMTP round
+  trip.
+* ``soak``        — the recovery-equivalence soak: a crash/restart-laden
+  scenario over the durable store whose manifest must be byte-identical
+  to the in-memory oracle run (``--oracle``).
 """
 
 from __future__ import annotations
@@ -240,6 +249,79 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--out", metavar="PATH", default=None,
         help="also write the metrics JSON to this file",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable SMTP service: one listener per compliant "
+        "ISP over the SQLite write-ahead store, with periodic barrier "
+        "commits and restart-safe pending queues",
+    )
+    serve.add_argument(
+        "--store", metavar="PATH", required=True,
+        help="durable store file; created (with --isps/--users/--seed) "
+        "if it does not exist yet",
+    )
+    serve.add_argument("--isps", type=int, default=3,
+                       help="ISP count when creating a new store")
+    serve.add_argument("--users", type=int, default=16,
+                       help="users per ISP when creating a new store")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="network seed when creating a new store")
+    serve.add_argument(
+        "--overload", action="store_true",
+        help="enable outbound admission control (token bucket + bounded "
+        "deferred queue); pending retries survive restarts",
+    )
+    serve.add_argument(
+        "--commit-interval", type=float, default=5.0, metavar="SECONDS",
+        help="wall seconds between automatic barrier commits (default 5)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for this long then exit cleanly "
+        "(default: until interrupted)",
+    )
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="verify a durable store: checksum sweep, anti-symmetry and "
+        "conservation invariants, one live SMTP round trip",
+    )
+    selftest.add_argument("--store", metavar="PATH", required=True,
+                          help="durable store file to verify")
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the recovery-equivalence soak: crash/restart cycles "
+        "and an overload flood over the durable store; with --oracle the "
+        "same scenario runs purely in memory and must produce a "
+        "byte-identical manifest",
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--days", type=float, default=0.5,
+                      help="virtual days of workload (default 0.5)")
+    soak.add_argument("--isps", type=int, default=3)
+    soak.add_argument("--users", type=int, default=6)
+    soak.add_argument(
+        "--crashes", type=int, default=2, metavar="N",
+        help="injected crash/restart cycles, alternating isp1/bank "
+        "(default 2)",
+    )
+    soak.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="durable store file (default: a temporary file, removed "
+        "afterwards); ignored with --oracle",
+    )
+    soak.add_argument(
+        "--oracle", action="store_true",
+        help="run the uninterrupted in-memory oracle instead of the "
+        "durable run",
+    )
+    soak.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the run manifest here (byte-identical between the "
+        "durable and oracle runs of the same seed)",
     )
     return parser
 
@@ -574,6 +656,115 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if result.conserved else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .core import ZmailNetwork
+    from .core.overload import OverloadConfig
+    from .store import DurableStore, init_store
+    from .store.service import ZmailService
+
+    if os.path.exists(args.store):
+        store = DurableStore.open(args.store)
+        print(f"opened store {args.store} at barrier {store.barrier} "
+              f"({store.count()} records)")
+    else:
+        store = DurableStore.create(args.store)
+        init_store(
+            store,
+            ZmailNetwork(
+                n_isps=args.isps, users_per_isp=args.users, seed=args.seed
+            ),
+        )
+        print(f"created store {args.store} "
+              f"({args.isps} ISPs x {args.users} users, seed {args.seed})")
+    overload = OverloadConfig() if args.overload else None
+
+    async def _serve() -> None:
+        service = ZmailService(
+            store, overload=overload, commit_interval=args.commit_interval
+        )
+        addresses = await service.start()
+        for isp_id, (host, port) in sorted(addresses.items()):
+            print(f"isp{isp_id}.example listening on {host}:{port}")
+        print("serving (Ctrl-C to stop)...")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await service.stop()
+            stats = service.stats()
+            print(f"stopped at barrier {stats['barrier']}: "
+                  f"{stats['messages_handled']} messages handled, "
+                  f"{stats['pending_sends']} pending, "
+                  f"conserved={stats['conserved']}")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from .store.service import run_selftest
+
+    report = run_selftest(args.store)
+    for key in ("records", "barrier", "isps", "anti_symmetric",
+                "conserved", "roundtrip"):
+        print(f"{key:<16} {report[key]}")
+    print(f"{'passed':<16} {report['passed']}")
+    return 0 if report["passed"] else 1
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from .store.soak import SoakSpec, run_soak
+
+    nodes = tuple(
+        ("isp1", "bank")[i % 2] for i in range(args.crashes)
+    )
+    spec = SoakSpec(
+        seed=args.seed,
+        n_isps=args.isps,
+        users_per_isp=args.users,
+        days=args.days,
+        crash_nodes=nodes,
+    )
+    if args.oracle:
+        report = run_soak(spec, manifest_path=args.manifest)
+    elif args.store is not None:
+        report = run_soak(
+            spec, store_path=args.store, manifest_path=args.manifest
+        )
+    else:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            report = run_soak(
+                spec,
+                store_path=os.path.join(tmpdir, "soak.db"),
+                manifest_path=args.manifest,
+            )
+    print(f"mode:            {report['mode']}")
+    print(f"cuts:            {report['cuts']}")
+    print(f"crashes:         {report['stats']['crashes']} "
+          f"(restarts {report['stats']['restarts']})")
+    print(f"converged:       {report['converged']}")
+    print(f"conserved:       {report['conserved']}")
+    print(f"final digest:    {report['final_digest']}")
+    print(f"event digest:    {report['manifest']['event_digest']}")
+    print(f"passed:          {report['passed']}")
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -588,6 +779,9 @@ _COMMANDS = {
     "overload": cmd_overload,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "serve": cmd_serve,
+    "selftest": cmd_selftest,
+    "soak": cmd_soak,
 }
 
 

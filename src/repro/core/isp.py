@@ -84,13 +84,14 @@ class CompliantISP:
         self.isp_id = isp_id
         self.config = config or ZmailConfig()
         self.ledger = Ledger(initial_pool=self.config.initial_pool)
-        for user_id in range(n_users):
-            self.ledger.add_user(
-                user_id,
-                account=self.config.default_user_account,
-                balance=self.config.default_user_balance,
-                daily_limit=self.config.default_daily_limit,
-            )
+        # Lazy genesis: accounts materialise on first touch, so a
+        # million-user ISP constructs in O(1) and holds O(hot set) memory.
+        self.ledger.genesis_users(
+            n_users,
+            account=self.config.default_user_account,
+            balance=self.config.default_user_balance,
+            daily_limit=self.config.default_daily_limit,
+        )
         self.credit: dict[int, int] = {}
         self.stats = DeliveryStats()
         self.cansend = True

@@ -43,7 +43,7 @@ class LedgerTotals:
 class Ledger:
     """User purses plus the ISP e-penny pool, with §4.2 exchange ops."""
 
-    __slots__ = ("_users", "pool", "cash")
+    __slots__ = ("_users", "pool", "cash", "_genesis")
 
     def __init__(self, *, initial_pool: int) -> None:
         if initial_pool < 0:
@@ -54,14 +54,45 @@ class Ledger:
         # paper's spec drops this side of the trade; tracking it makes the
         # ledger conservation law exact (see module docstring).
         self.cash = 0
+        # Lazy-genesis template: ``(n_users, account, balance,
+        # daily_limit)``. Users below ``n_users`` exist virtually with
+        # exactly the template purses until first touched, so a
+        # million-account ISP costs O(hot set) memory and a restart
+        # replays O(dirty) state instead of materialising everyone.
+        self._genesis: tuple[int, int, int, int] | None = None
 
     # -- user management --------------------------------------------------------
+
+    def genesis_users(
+        self, n_users: int, *, account: int, balance: int, daily_limit: int
+    ) -> None:
+        """Declare ``n_users`` identical users without materialising them.
+
+        Only valid on an empty ledger; users materialise from the
+        template on first access via :meth:`user`.
+        """
+        if self._users or self._genesis is not None:
+            raise ValueError("genesis_users requires an empty ledger")
+        if n_users < 0:
+            raise ValueError(f"negative user count {n_users}")
+        self._genesis = (n_users, account, balance, daily_limit)
+
+    def _materialize(self, user_id: int) -> UserAccount:
+        _, account, balance, daily_limit = self._genesis
+        user = UserAccount(
+            user_id=user_id,
+            account=account,
+            balance=balance,
+            daily_limit=daily_limit,
+        )
+        self._users[user_id] = user
+        return user
 
     def add_user(
         self, user_id: int, *, account: int, balance: int, daily_limit: int
     ) -> UserAccount:
         """Create a user with initial purses; duplicate ids are rejected."""
-        if user_id in self._users:
+        if user_id in self:
             raise ValueError(f"user {user_id} already exists")
         user = UserAccount(
             user_id=user_id,
@@ -77,17 +108,32 @@ class Ledger:
         try:
             return self._users[user_id]
         except KeyError:
+            if self._genesis is not None and 0 <= user_id < self._genesis[0]:
+                return self._materialize(user_id)
             raise UnknownUser(f"no user {user_id}") from None
 
     def users(self) -> list[UserAccount]:
-        """All users, ordered by id."""
+        """All users, ordered by id (materialises any pristine users)."""
+        if self._genesis is not None:
+            for user_id in range(self._genesis[0]):
+                if user_id not in self._users:
+                    self._materialize(user_id)
         return [self._users[k] for k in sorted(self._users)]
 
-    def __len__(self) -> int:
+    def materialized_count(self) -> int:
+        """How many accounts actually exist in memory (the hot set)."""
         return len(self._users)
 
+    def __len__(self) -> int:
+        if self._genesis is None:
+            return len(self._users)
+        n = self._genesis[0]
+        return n + sum(1 for k in self._users if k >= n)
+
     def __contains__(self, user_id: int) -> bool:
-        return user_id in self._users
+        if user_id in self._users:
+            return True
+        return self._genesis is not None and 0 <= user_id < self._genesis[0]
 
     # -- §4.2 user <-> ISP exchange ------------------------------------------------
 
@@ -146,10 +192,22 @@ class Ledger:
     # -- audit -------------------------------------------------------------------
 
     def totals(self) -> LedgerTotals:
-        """Snapshot of all value held at this ISP."""
+        """Snapshot of all value held at this ISP.
+
+        Pristine genesis users all hold exactly the template purses, so
+        the audit is O(materialised), not O(users): the paper's
+        conservation law stays checkable at million-account scale.
+        """
+        user_accounts = sum(u.account for u in self._users.values())
+        user_balances = sum(u.balance for u in self._users.values())
+        if self._genesis is not None:
+            n, account, balance, _ = self._genesis
+            pristine = n - sum(1 for k in self._users if k < n)
+            user_accounts += pristine * account
+            user_balances += pristine * balance
         return LedgerTotals(
-            user_accounts=sum(u.account for u in self._users.values()),
-            user_balances=sum(u.balance for u in self._users.values()),
+            user_accounts=user_accounts,
+            user_balances=user_balances,
             pool=self.pool,
             cash=self.cash,
         )

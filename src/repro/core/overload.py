@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, Iterator
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError
 from ..sim.workload import TrafficKind
 
 __all__ = [
@@ -431,6 +431,105 @@ class AdmissionController:
         )
         if self.on_bounce is not None:
             self.on_bounce(now, item, reason)
+
+    # -- durable state (crash/restart with a persistent store) -------------------
+
+    def state_dict(
+        self, encode: Callable[[object], object] | None = None
+    ) -> dict[str, object]:
+        """The controller's durable state: queue, bucket, and counters.
+
+        The deferred queue *is* accepted-but-undelivered mail, so it must
+        survive a restart for the no-lost-accounting identity to keep
+        holding; the counters are the other side of that identity. The
+        audit ring is volatile diagnostics and is not persisted.
+        ``encode`` maps queued payloads to JSON-compatible values.
+        """
+        enc = encode if encode is not None else (lambda payload: payload)
+        items = sorted(
+            (entry for entry in self.queue._heap if not entry[2].cancelled),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        return {
+            "bucket": {"tokens": self.bucket.tokens, "last": self.bucket._last},
+            "queue": {
+                "seq": self.queue._seq,
+                "peak_size": self.queue.peak_size,
+                "items": [
+                    {
+                        "payload": enc(item.payload),
+                        "shed_class": int(item.shed_class),
+                        "due": item.due,
+                        "seq": item.seq,
+                        "attempts": item.attempts,
+                        "enqueued_at": item.enqueued_at,
+                    }
+                    for _, _, item in items
+                ],
+            },
+            "counters": {
+                "attempts": self.attempts,
+                "accepted": self.accepted,
+                "accepted_after_defer": self.accepted_after_defer,
+                "shed": self.shed,
+                "bounced": self.bounced,
+                "evicted": self.evicted,
+                "retries": self.retries,
+            },
+        }
+
+    def load_state(
+        self,
+        state: dict[str, object],
+        decode: Callable[[object], object] | None = None,
+    ) -> None:
+        """Replace queue/bucket/counters with a :meth:`state_dict` journal.
+
+        Items are rebuilt with their original sequence numbers (bypassing
+        :meth:`DeferredQueue.push`, which would renumber them) so retry
+        order after a restart matches the uninterrupted run exactly.
+
+        Raises:
+            SimulationError: if the journal is malformed.
+        """
+        dec = decode if decode is not None else (lambda payload: payload)
+        try:
+            queue = DeferredQueue(self.config.queue_capacity)
+            entries = []
+            max_seq = int(state["queue"]["seq"])
+            for blob in state["queue"]["items"]:
+                item = DeferredItem(
+                    payload=dec(blob["payload"]),
+                    shed_class=ShedClass(int(blob["shed_class"])),
+                    due=float(blob["due"]),
+                    seq=int(blob["seq"]),
+                    attempts=int(blob["attempts"]),
+                    enqueued_at=float(blob["enqueued_at"]),
+                )
+                entries.append((item.due, item.seq, item))
+            heapq.heapify(entries)
+            queue._heap = entries
+            queue._seq = max_seq
+            queue._live = len(entries)
+            queue.peak_size = int(state["queue"]["peak_size"])
+            bucket = TokenBucket(self.config.admit_rate, self.config.admit_burst)
+            bucket.tokens = float(state["bucket"]["tokens"])
+            bucket._last = float(state["bucket"]["last"])
+            counters = state["counters"]
+            self.attempts = int(counters["attempts"])
+            self.accepted = int(counters["accepted"])
+            self.accepted_after_defer = int(counters["accepted_after_defer"])
+            self.shed = int(counters["shed"])
+            self.bounced = int(counters["bounced"])
+            self.evicted = int(counters["evicted"])
+            self.retries = int(counters["retries"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SimulationError(
+                f"{self.owner}: malformed admission journal: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self.queue = queue
+        self.bucket = bucket
 
     # -- introspection ----------------------------------------------------------
 

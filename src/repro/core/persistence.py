@@ -45,14 +45,25 @@ __all__ = [
     "restore",
     "dumps",
     "loads",
+    "config_state",
+    "config_from_state",
+    "user_state",
+    "load_user_state",
     "isp_state",
     "load_isp_state",
+    "isp_aggregate_state",
+    "load_isp_aggregate_state",
     "bank_state",
     "load_bank_state",
     "FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 2  # v2: limit_warning_log event list -> limit_hits counters
+# v2: limit_warning_log event list -> limit_hits counters
+# v3: checkpoints carry per-ISP delivery stats and limit-hit counters (a
+#     cold restore no longer silently zeroes them), and the journal is
+#     factored into aggregate + per-user fragments so the durable store
+#     (:mod:`repro.store`) can persist exactly the dirty subset.
+FORMAT_VERSION = 3
 
 
 def _user_state(user) -> dict[str, Any]:
@@ -83,6 +94,72 @@ def _load_user_state(user, state: dict[str, Any]) -> None:
     user.junk_folder = state["junk_folder"]
 
 
+def user_state(user) -> dict[str, Any]:
+    """One user's durable state (purse, limits, counters, mailboxes)."""
+    return _user_state(user)
+
+
+def load_user_state(user, state: dict[str, Any]) -> None:
+    """Restore a :func:`user_state` fragment onto ``user`` in place.
+
+    Raises:
+        SimulationError: if the fragment is malformed.
+    """
+    try:
+        _load_user_state(user, state)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(
+            f"malformed user state: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def config_state(config: ZmailConfig) -> dict[str, Any]:
+    """Serialise a :class:`ZmailConfig` to a JSON-compatible dict."""
+    return {
+        "default_daily_limit": config.default_daily_limit,
+        "default_user_balance": config.default_user_balance,
+        "default_user_account": config.default_user_account,
+        "initial_pool": config.initial_pool,
+        "minavail": config.minavail,
+        "maxavail": config.maxavail,
+        "initial_bank_account": config.initial_bank_account,
+        "snapshot_quiesce_seconds": config.snapshot_quiesce_seconds,
+        "reconciliation_period": config.reconciliation_period,
+        "noncompliant_policy": config.noncompliant_policy.value,
+        "auto_topup_amount": config.auto_topup_amount,
+        "use_crypto": config.use_crypto,
+    }
+
+
+def config_from_state(state: dict[str, Any]) -> ZmailConfig:
+    """Rebuild a :class:`ZmailConfig` from :func:`config_state` output.
+
+    Raises:
+        SimulationError: if the state is malformed.
+    """
+    try:
+        return ZmailConfig(
+            default_daily_limit=state["default_daily_limit"],
+            default_user_balance=state["default_user_balance"],
+            default_user_account=state["default_user_account"],
+            initial_pool=state["initial_pool"],
+            minavail=state["minavail"],
+            maxavail=state["maxavail"],
+            initial_bank_account=state["initial_bank_account"],
+            snapshot_quiesce_seconds=state["snapshot_quiesce_seconds"],
+            reconciliation_period=state["reconciliation_period"],
+            noncompliant_policy=NonCompliantMailPolicy(
+                state["noncompliant_policy"]
+            ),
+            auto_topup_amount=state["auto_topup_amount"],
+            use_crypto=state["use_crypto"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(
+            f"malformed checkpoint config: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def checkpoint(network: ZmailNetwork) -> dict[str, Any]:
     """Serialise a deployment to a JSON-compatible dict.
 
@@ -95,26 +172,12 @@ def checkpoint(network: ZmailNetwork) -> dict[str, Any]:
             f"{network.paid_letters_in_flight} paid letters in flight; "
             "run the engine to quiescence before checkpointing"
         )
-    config = network.config
     state: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "n_isps": network.n_isps,
         "users_per_isp": network.users_per_isp,
         "external_deposit": network._external_deposit,
-        "config": {
-            "default_daily_limit": config.default_daily_limit,
-            "default_user_balance": config.default_user_balance,
-            "default_user_account": config.default_user_account,
-            "initial_pool": config.initial_pool,
-            "minavail": config.minavail,
-            "maxavail": config.maxavail,
-            "initial_bank_account": config.initial_bank_account,
-            "snapshot_quiesce_seconds": config.snapshot_quiesce_seconds,
-            "reconciliation_period": config.reconciliation_period,
-            "noncompliant_policy": config.noncompliant_policy.value,
-            "auto_topup_amount": config.auto_topup_amount,
-            "use_crypto": config.use_crypto,
-        },
+        "config": config_state(network.config),
         "bank": {
             "accounts": {
                 str(isp_id): network.bank.account_balance(isp_id)
@@ -132,6 +195,11 @@ def checkpoint(network: ZmailNetwork) -> dict[str, Any]:
             "pool": isp.ledger.pool,
             "cash": isp.ledger.cash,
             "credit": {str(k): v for k, v in isp.credit.items()},
+            "stats": dataclasses.asdict(isp.stats),
+            "limit_hits": {
+                str(user_id): count
+                for user_id, count in sorted(isp.limit_hits.items())
+            },
             "users": users,
         }
     return state
@@ -162,23 +230,7 @@ def restore(state: dict[str, Any], *, seed: int = 0) -> ZmailNetwork:
 
 
 def _restore_checked(state: dict[str, Any], *, seed: int) -> ZmailNetwork:
-    config_state = state["config"]
-    config = ZmailConfig(
-        default_daily_limit=config_state["default_daily_limit"],
-        default_user_balance=config_state["default_user_balance"],
-        default_user_account=config_state["default_user_account"],
-        initial_pool=config_state["initial_pool"],
-        minavail=config_state["minavail"],
-        maxavail=config_state["maxavail"],
-        initial_bank_account=config_state["initial_bank_account"],
-        snapshot_quiesce_seconds=config_state["snapshot_quiesce_seconds"],
-        reconciliation_period=config_state["reconciliation_period"],
-        noncompliant_policy=NonCompliantMailPolicy(
-            config_state["noncompliant_policy"]
-        ),
-        auto_topup_amount=config_state["auto_topup_amount"],
-        use_crypto=config_state["use_crypto"],
-    )
+    config = config_from_state(state["config"])
     compliant_ids = {int(k) for k in state["isps"]}
     flags = [i in compliant_ids for i in range(state["n_isps"])]
     network = ZmailNetwork(
@@ -196,6 +248,11 @@ def _restore_checked(state: dict[str, Any], *, seed: int) -> ZmailNetwork:
         isp.ledger.pool = isp_state_blob["pool"]
         isp.ledger.cash = isp_state_blob["cash"]
         isp.credit = {int(k): v for k, v in isp_state_blob["credit"].items()}
+        isp.stats = DeliveryStats(**isp_state_blob["stats"])
+        isp.limit_hits = {
+            int(user_id): int(count)
+            for user_id, count in isp_state_blob["limit_hits"].items()
+        }
         for user_key, user_state in isp_state_blob["users"].items():
             _load_user_state(isp.ledger.user(int(user_key)), user_state)
 
@@ -219,13 +276,14 @@ def _restore_checked(state: dict[str, Any], *, seed: int) -> ZmailNetwork:
 # -- per-node journals (crash/restart) -----------------------------------------------
 
 
-def isp_state(isp: CompliantISP) -> dict[str, Any]:
-    """One compliant ISP's durable state (its write-ahead journal).
+def isp_aggregate_state(isp: CompliantISP) -> dict[str, Any]:
+    """The per-user-independent slice of an ISP's durable state.
 
-    Covers the ledger (pool, cash, every user purse), the inter-ISP
-    credit array, the installed compliance directory, delivery stats and
-    the zombie-detection per-user limit-hit counters. Volatile state — an open snapshot
-    pause, the buffered outbox — is deliberately absent: a crash loses it.
+    Everything in :func:`isp_state` except the ``users`` map: pool, cash,
+    credit array, compliance directory, delivery stats and the per-user
+    limit-hit counters (small — only zombies accumulate entries). The
+    durable store persists this fragment every barrier (O(n_isps)) and
+    per-user fragments only when dirty.
     """
     return {
         "isp_id": isp.isp_id,
@@ -235,12 +293,51 @@ def isp_state(isp: CompliantISP) -> dict[str, Any]:
         "compliance_view": {
             str(k): v for k, v in sorted(isp.compliance_view.items())
         },
-        "users": {
-            str(user.user_id): _user_state(user) for user in isp.ledger.users()
-        },
         "stats": dataclasses.asdict(isp.stats),
-        "limit_hits": {str(user_id): count for user_id, count in sorted(isp.limit_hits.items())},
+        "limit_hits": {
+            str(user_id): count
+            for user_id, count in sorted(isp.limit_hits.items())
+        },
     }
+
+
+def load_isp_aggregate_state(isp: CompliantISP, state: dict[str, Any]) -> None:
+    """Restore an :func:`isp_aggregate_state` fragment onto ``isp`` in place.
+
+    Raises:
+        SimulationError: if the fragment is malformed.
+    """
+    try:
+        isp.ledger.pool = state["pool"]
+        isp.ledger.cash = state["cash"]
+        isp.credit = {int(k): v for k, v in state["credit"].items()}
+        isp.compliance_view = {
+            int(k): bool(v) for k, v in state["compliance_view"].items()
+        }
+        isp.stats = DeliveryStats(**state["stats"])
+        isp.limit_hits = {
+            int(user_id): int(count)
+            for user_id, count in state["limit_hits"].items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SimulationError(
+            f"malformed ISP journal aggregate: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def isp_state(isp: CompliantISP) -> dict[str, Any]:
+    """One compliant ISP's durable state (its write-ahead journal).
+
+    Covers the ledger (pool, cash, every user purse), the inter-ISP
+    credit array, the installed compliance directory, delivery stats and
+    the zombie-detection per-user limit-hit counters. Volatile state — an open snapshot
+    pause, the buffered outbox — is deliberately absent: a crash loses it.
+    """
+    state = isp_aggregate_state(isp)
+    state["users"] = {
+        str(user.user_id): _user_state(user) for user in isp.ledger.users()
+    }
+    return state
 
 
 def load_isp_state(isp: CompliantISP, state: dict[str, Any]) -> None:
@@ -253,20 +350,10 @@ def load_isp_state(isp: CompliantISP, state: dict[str, Any]) -> None:
     Raises:
         SimulationError: if the journal is malformed.
     """
+    load_isp_aggregate_state(isp, state)
     try:
-        isp.ledger.pool = state["pool"]
-        isp.ledger.cash = state["cash"]
-        isp.credit = {int(k): v for k, v in state["credit"].items()}
-        isp.compliance_view = {
-            int(k): bool(v) for k, v in state["compliance_view"].items()
-        }
         for user_key, user_state in state["users"].items():
             _load_user_state(isp.ledger.user(int(user_key)), user_state)
-        isp.stats = DeliveryStats(**state["stats"])
-        isp.limit_hits = {
-            int(user_id): int(count)
-            for user_id, count in state["limit_hits"].items()
-        }
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise SimulationError(
             f"malformed ISP journal: {type(exc).__name__}: {exc}"

@@ -172,6 +172,7 @@ class ZmailNetwork:
         self.config = config or ZmailConfig()
         self.n_isps = n_isps
         self.users_per_isp = users_per_isp
+        self.seed = seed
         flags = list(compliant) if compliant is not None else [True] * n_isps
         if len(flags) != n_isps:
             raise ValueError("compliant flags length must equal n_isps")
@@ -230,6 +231,10 @@ class ZmailNetwork:
         self.workload_attempted = 0
         self._last_day_seen = 0
         self._external_deposit = 0
+        # Durable-store dirty hook: called as touch(isp_id, user_id) at
+        # every funnel that can mutate per-user state (send, deliver,
+        # fund). None (the default) keeps the hot path branch-predictable.
+        self._touch: Callable[[int, int], None] | None = None
         self._bank_reply_handler = None
         self.midnight_handle = None  # set by run_workload in engine mode
         self.last_report: ReconciliationReport | None = None
@@ -323,6 +328,20 @@ class ZmailNetwork:
         self._nonce_sources[isp_id] = NonceSource(0x5EED ^ isp_id, owner=f"isp{isp_id}")
         self._push_directory()
 
+    def set_touch_hook(
+        self, touch: Callable[[int, int], None] | None
+    ) -> None:
+        """Install (or clear) the durable-store dirty-tracking hook.
+
+        ``touch(isp_id, user_id)`` is invoked for every user whose state
+        may have changed; the set it accumulates is a superset of the
+        actually-mutated users (blocked sends still touch the sender),
+        which is safe — re-persisting a clean record is a no-op. Midnight
+        resets and auto-topups need no extra hook calls: both only change
+        users already touched by a send on the same path.
+        """
+        self._touch = touch
+
     # -- funding helpers --------------------------------------------------------------
 
     def fund_user(
@@ -344,6 +363,8 @@ class ZmailNetwork:
         if epennies:
             user.credit_epennies(epennies)
             self._external_deposit += epennies
+        if self._touch is not None:
+            self._touch(address.isp, address.user)
 
     # -- sending ------------------------------------------------------------------------
 
@@ -395,6 +416,12 @@ class ZmailNetwork:
     ) -> SendReceipt:
         """The pre-overload send path: admission already granted (or off)."""
         isp = self.isps[sender.isp]
+        if self._touch is not None:
+            # Sender always (counters/purse even on blocked sends); the
+            # recipient too, covering the local-delivery short circuit
+            # where no Letter ever reaches _deliver_letter.
+            self._touch(sender.isp, sender.user)
+            self._touch(recipient.isp, recipient.user)
         receipt = isp.submit(sender.user, recipient, kind, content)
         if (
             receipt.status is SendStatus.BLOCKED_BALANCE
@@ -623,6 +650,8 @@ class ZmailNetwork:
     def _deliver_letter(self, letter: Letter) -> None:
         if letter.paid:
             self.paid_letters_in_flight -= 1
+        if self._touch is not None:
+            self._touch(letter.recipient.isp, letter.recipient.user)
         delivered = self.isps[letter.recipient.isp].deliver(letter)
         if delivered:
             self._inc_delivered()

@@ -48,6 +48,7 @@ from .trace import (
     TraceRecorder,
     canonical_line,
     multiset_digest,
+    recover_jsonl_tail,
 )
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "RingSink",
     "ListSink",
     "JsonlSink",
+    "recover_jsonl_tail",
     "DigestSink",
     "NULL_TRACER",
     "canonical_line",

@@ -62,6 +62,12 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "gateway.inbound": frozenset({"outcome"}),
     "gateway.bounce": frozenset({"recipient"}),
     "smtp.session": frozenset({"outcome"}),
+    # durable store — bookkeeping only, excluded from the soak's event
+    # digest so durable and in-memory oracle runs stay comparable.
+    "store.commit": frozenset({"barrier", "records"}),
+    "store.restore": frozenset({"barrier", "records"}),
+    "store.crash": frozenset({"node"}),
+    "store.restart": frozenset({"node"}),
 }
 
 #: The subset of types that describe ledger-visible outcomes — what the

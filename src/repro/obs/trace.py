@@ -22,9 +22,13 @@ traces stay byte-reproducible across machines.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import os
 from collections import deque
 from typing import Callable, Iterable
+
+from ..errors import SimulationError
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
@@ -32,6 +36,7 @@ __all__ = [
     "RingSink",
     "ListSink",
     "JsonlSink",
+    "recover_jsonl_tail",
     "NULL_TRACER",
     "DigestSink",
     "canonical_line",
@@ -141,24 +146,45 @@ class JsonlSink:
     Accepts a path or any object with ``write``. Paths are opened for
     writing immediately and closed by :meth:`close`; caller-supplied
     file objects are flushed but never closed.
+
+    Crash safety for path-backed sinks: ``resume=True`` appends instead
+    of truncating (a restarted service continues its trace), every line
+    is written in one ``write`` call (a kill can only truncate the tail,
+    not interleave), :meth:`sync` / :meth:`close` flush and ``fsync`` so
+    acknowledged events survive power loss, and
+    :func:`recover_jsonl_tail` trims a torn final line so the file stays
+    parseable.
     """
 
     __slots__ = ("_file", "_owns")
 
-    def __init__(self, target) -> None:
+    def __init__(self, target, *, resume: bool = False) -> None:
         if hasattr(target, "write"):
             self._file = target
             self._owns = False
         else:
-            self._file = open(target, "w", encoding="utf-8")
+            self._file = open(target, "a" if resume else "w", encoding="utf-8")
             self._owns = True
 
     def accept(self, line: str) -> None:
         self._file.write(line + "\n")
 
-    def close(self) -> None:
-        """Flush, and close the file if this sink opened it."""
+    def sync(self) -> None:
+        """Flush and fsync without closing — a durability barrier.
+
+        The soak driver calls this at every store commit so the trace on
+        disk is never behind the ledger it explains. No-op fsync for
+        caller-supplied objects without a real file descriptor.
+        """
         self._file.flush()
+        try:
+            os.fsync(self._file.fileno())
+        except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+            pass
+
+    def close(self) -> None:
+        """Flush (and fsync), and close the file if this sink opened it."""
+        self.sync()
         if self._owns:
             self._file.close()
 
@@ -167,6 +193,45 @@ class JsonlSink:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def recover_jsonl_tail(path) -> int:
+    """Trim a torn trailing line from a killed run's JSONL trace.
+
+    A fail-stop kill can leave the final line half-written (no trailing
+    newline, or a newline-terminated line that is not valid JSON — the
+    page holding the tail was only partially flushed). Everything before
+    it is intact because each event was a single ``write``. This scans
+    the complete, newline-terminated prefix, validates the last line,
+    and truncates anything torn; returns the number of bytes dropped
+    (0 when the file was already clean).
+
+    Raises:
+        SimulationError: if the file cannot be read.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise SimulationError(f"cannot recover trace {path!r}: {exc}") from exc
+    keep = len(data)
+    # Drop a tail with no terminating newline outright.
+    if keep and not data.endswith(b"\n"):
+        keep = data.rfind(b"\n") + 1
+    # The last newline-terminated line can still be torn mid-page:
+    # validate it and drop it if unparseable.
+    while keep:
+        start = data.rfind(b"\n", 0, keep - 1) + 1
+        try:
+            json.loads(data[start : keep - 1])
+            break
+        except json.JSONDecodeError:
+            keep = start
+    dropped = len(data) - keep
+    if dropped:
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+    return dropped
 
 
 class TraceRecorder:

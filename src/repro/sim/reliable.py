@@ -192,10 +192,100 @@ class ReliableEndpoint:
         if not self.closed:
             return
         self.closed = False
-        for dst, state in self._outbound.items():
+        # Sorted so the timer-arming order (and hence the engine's
+        # same-instant tie-break order) is independent of dict insertion
+        # history — a journal-restored endpoint behaves identically to
+        # one that lived through the crash in memory.
+        for dst, state in sorted(self._outbound.items()):
             if state.unacked:
                 state.retries = 0
                 self._arm_retransmit(dst)
+
+    # -- durable state (crash/restart with a persistent store) -------------------------
+
+    def state_dict(
+        self, encode: Callable[[Any], Any] | None = None
+    ) -> dict[str, Any]:
+        """The endpoint's durable sequence state (its mail-queue journal).
+
+        Covers per-destination send sequence numbers and unacked frames,
+        and per-source receive cursors and reorder buffers — everything a
+        restarted process needs to resume exactly-once delivery. Timers,
+        retry counters and wire statistics are volatile. ``encode`` maps
+        application payloads to JSON-compatible values (identity when
+        they already are).
+        """
+        enc = encode if encode is not None else (lambda payload: payload)
+        return {
+            "outbound": {
+                dst: {
+                    "next_seq": state.next_seq,
+                    "unacked": {
+                        str(seq): enc(payload)
+                        for seq, payload in sorted(state.unacked.items())
+                    },
+                }
+                for dst, state in sorted(self._outbound.items())
+            },
+            "inbound": {
+                src: {
+                    "next_expected": state.next_expected,
+                    "buffer": {
+                        str(seq): enc(payload)
+                        for seq, payload in sorted(state.buffer.items())
+                    },
+                }
+                for src, state in sorted(self._inbound.items())
+            },
+        }
+
+    def load_state(
+        self,
+        state: dict[str, Any],
+        decode: Callable[[Any], Any] | None = None,
+    ) -> None:
+        """Replace the sequence state with a :meth:`state_dict` journal.
+
+        Disk is authoritative: existing in-memory queues are discarded
+        wholesale. Call on a closed endpoint, then :meth:`reopen` to
+        re-arm retransmission of the rehydrated unacked frames.
+
+        Raises:
+            SimulationError: if the journal is malformed.
+        """
+        dec = decode if decode is not None else (lambda payload: payload)
+        try:
+            outbound = {
+                dst: _OutboundState(
+                    next_seq=int(blob["next_seq"]),
+                    unacked={
+                        int(seq): dec(payload)
+                        for seq, payload in blob["unacked"].items()
+                    },
+                )
+                for dst, blob in state["outbound"].items()
+            }
+            inbound = {
+                src: _InboundState(
+                    next_expected=int(blob["next_expected"]),
+                    buffer={
+                        int(seq): dec(payload)
+                        for seq, payload in blob["buffer"].items()
+                    },
+                )
+                for src, blob in state["inbound"].items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SimulationError(
+                f"{self.name}: malformed endpoint journal: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        for old in self._outbound.values():
+            if old.timer is not None:
+                old.timer.cancel()
+                old.timer = None
+        self._outbound = outbound
+        self._inbound = inbound
 
     # -- receiving -------------------------------------------------------------------
 

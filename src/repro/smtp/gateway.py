@@ -32,7 +32,7 @@ from typing import Callable
 from ..core.overload import AdmissionController, DeferredItem, OverloadConfig, shed_class_for
 from ..core.protocol import ZmailNetwork
 from ..core.transfer import SendStatus
-from ..errors import SMTPPermanentError
+from ..errors import SimulationError, SMTPPermanentError
 from ..sim.workload import Address, TrafficKind
 from .address import from_sim_address, to_sim_address
 from .message import MailMessage
@@ -336,6 +336,62 @@ class ZmailGateway:
         return (
             self._admission.next_due() if self._admission is not None else None
         )
+
+    def pending_state(self) -> dict[str, object] | None:
+        """The deferred outbound queue as a durable journal (or ``None``).
+
+        Deferred submissions are mail the gateway *accepted* (the client
+        got a 451-retry answer and walked away); losing them across a
+        restart silently drops in-flight retries. The durable store
+        persists this journal and :meth:`load_pending_state` rehydrates
+        it on restart.
+        """
+        if self._admission is None:
+            return None
+
+        def enc(payload: object) -> object:
+            sender_user, recipient, message, list_token = payload  # type: ignore[misc]
+            return {
+                "sender_user": sender_user,
+                "recipient": [recipient.isp, recipient.user],
+                "message": message.serialize(),
+                "list_token": list_token,
+            }
+
+        return self._admission.state_dict(enc)
+
+    def load_pending_state(self, state: dict[str, object] | None) -> None:
+        """Rehydrate the deferred outbound queue from :meth:`pending_state`.
+
+        Raises:
+            SimulationError: if the journal is malformed or the gateway
+                has no admission controller to receive it.
+        """
+        if state is None:
+            return
+        if self._admission is None:
+            raise SimulationError(
+                f"gateway{self.isp_id}: pending journal present but "
+                "overload admission is disabled"
+            )
+
+        def dec(blob: object) -> object:
+            try:
+                return (
+                    int(blob["sender_user"]),  # type: ignore[index]
+                    Address(
+                        int(blob["recipient"][0]),  # type: ignore[index]
+                        int(blob["recipient"][1]),  # type: ignore[index]
+                    ),
+                    MailMessage.parse(blob["message"]),  # type: ignore[index]
+                    blob["list_token"],  # type: ignore[index]
+                )
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise SimulationError(
+                    f"gateway{self.isp_id}: malformed deferred payload: {exc}"
+                ) from exc
+
+        self._admission.load_state(state, dec)
 
     def admission_stats(self) -> dict[str, int]:
         """The admission controller's counters (zeros when overload is off)."""

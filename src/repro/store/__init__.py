@@ -1,0 +1,40 @@
+"""Durable service-mode storage for Zmail deployments.
+
+``repro.store`` keeps a deployment's money durable across process
+lifetimes: a checksummed SQLite (WAL) key-value journal
+(:mod:`backend`), a genesis+deltas persistence scheme with dirty-user
+tracking so restarts cost O(dirty), not O(users) (:mod:`network`), and
+a sealed-record codec shared with the chaos harness's crash journals
+(:mod:`codec`).
+
+Higher layers are imported by full path to keep this package root
+dependency-light: :mod:`repro.store.wire` (payload codecs for retry
+queues), :mod:`repro.store.soak` (the crash/restart soak driver with
+its in-memory differential oracle) and :mod:`repro.store.service` (the
+long-running SMTP service and the ``repro selftest`` ops check).
+"""
+
+from .backend import DurableStore
+from .codec import STORE_FORMAT_VERSION, record_checksum, seal, unseal
+from .network import (
+    DirtyTracker,
+    attach_tracker,
+    commit_network,
+    durable_digest,
+    init_store,
+    restore_network,
+)
+
+__all__ = [
+    "DurableStore",
+    "STORE_FORMAT_VERSION",
+    "record_checksum",
+    "seal",
+    "unseal",
+    "DirtyTracker",
+    "attach_tracker",
+    "commit_network",
+    "durable_digest",
+    "init_store",
+    "restore_network",
+]

@@ -1,0 +1,192 @@
+"""Corruption fuzzing: every mutation must fail loudly, never mis-load.
+
+The contract under test is the one that matters for money: a corrupted
+journal or store may only ever produce a ``SimulationError`` — loading a
+*wrong* ledger silently is the single unacceptable outcome. Each fuzz
+case mutates a sealed ISP journal, bank journal, or the SQLite store
+file (truncation, bit flips, extra bytes) and asserts the load either
+raises or — for store-file mutations that happen to hit dead space —
+yields a ledger identical to the pristine one.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core import ZmailNetwork
+from repro.core.persistence import (
+    bank_state,
+    isp_state,
+    load_bank_state,
+    load_isp_state,
+)
+from repro.errors import SimulationError
+from repro.sim import Address
+from repro.store import (
+    DurableStore,
+    attach_tracker,
+    commit_network,
+    durable_digest,
+    init_store,
+    restore_network,
+    seal,
+    unseal,
+)
+
+N_MUTATIONS = 60
+
+
+def _traffic(network):
+    tracker = attach_tracker(network)
+    for i in range(30):
+        network.send(Address(i % 3, i % 4), Address((i + 1) % 3, (i + 2) % 4))
+    return tracker
+
+
+def _mutations(rng, blob: bytes):
+    """Yield corrupted variants: truncations, bit flips, insertions."""
+    for _ in range(N_MUTATIONS // 3):
+        cut = rng.randrange(len(blob))
+        yield blob[:cut]
+    for _ in range(N_MUTATIONS // 3):
+        pos = rng.randrange(len(blob))
+        flipped = blob[pos] ^ (1 << rng.randrange(8))
+        yield blob[:pos] + bytes([flipped]) + blob[pos + 1 :]
+    for _ in range(N_MUTATIONS // 3):
+        pos = rng.randrange(len(blob) + 1)
+        junk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+        yield blob[:pos] + junk + blob[pos:]
+
+
+class TestSealedJournalFuzz:
+    """Mutating a sealed journal must raise, never rebuild wrong state."""
+
+    def _fuzz_sealed(self, state, load, fresh):
+        rng = random.Random(1234)
+        sealed = seal(state, kind="crash-journal", key="node").encode("utf-8")
+        raised = 0
+        for mutant in _mutations(rng, sealed):
+            try:
+                text = mutant.decode("utf-8")
+            except UnicodeDecodeError:
+                raised += 1  # unreadable is as loud as it gets
+                continue
+            try:
+                value = unseal(text, kind="crash-journal", key="node")
+                load(fresh(), value)
+            except SimulationError:
+                raised += 1
+            else:
+                # A mutation may cancel out only by reproducing the
+                # original bytes; anything else must have raised.
+                assert mutant == sealed, (
+                    f"corrupted journal loaded silently: {mutant[:80]!r}"
+                )
+        assert raised >= N_MUTATIONS * 0.9
+
+    def test_isp_journal(self):
+        network = ZmailNetwork(n_isps=3, users_per_isp=4, seed=77)
+        _traffic(network)
+        state = isp_state(network.isps[0])
+
+        def load(net, value):
+            load_isp_state(net.isps[0], value)
+
+        self._fuzz_sealed(
+            state,
+            load,
+            lambda: ZmailNetwork(n_isps=3, users_per_isp=4, seed=77),
+        )
+
+    def test_bank_journal(self):
+        network = ZmailNetwork(n_isps=3, users_per_isp=4, seed=78)
+        _traffic(network)
+        state = bank_state(network.bank)
+
+        def load(net, value):
+            load_bank_state(net.bank, value)
+
+        self._fuzz_sealed(
+            state,
+            load,
+            lambda: ZmailNetwork(n_isps=3, users_per_isp=4, seed=78),
+        )
+
+    def test_payload_digit_flip_caught(self):
+        # The classic checksumless failure: one digit changed in a value
+        # that still parses as valid JSON. The record checksum must catch
+        # what a parser cannot.
+        network = ZmailNetwork(n_isps=3, users_per_isp=4, seed=5)
+        _traffic(network)
+        sealed = seal(bank_state(network.bank), kind="crash-journal", key="bank")
+        payload = json.loads(sealed)["payload"]
+        digits = [i for i, ch in enumerate(payload) if ch.isdigit()]
+        flips = 0
+        for index in digits:
+            new_digit = "3" if payload[index] != "3" else "4"
+            tampered_payload = payload[:index] + new_digit + payload[index + 1 :]
+            envelope = json.loads(sealed)
+            envelope["payload"] = tampered_payload
+            with pytest.raises(SimulationError):
+                unseal(
+                    json.dumps(envelope), kind="crash-journal", key="bank"
+                )
+            flips += 1
+        assert flips > 10
+
+
+class TestStoreFileFuzz:
+    """Mutating the SQLite file: raise, or load the *identical* ledger.
+
+    SQLite files contain free pages and slack space, so a mutation can
+    land somewhere harmless; the assertion is therefore two-sided —
+    either the load fails loudly or the restored network is
+    digest-identical to the pristine one. A wrong ledger fails the test.
+    """
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        path = str(tmp_path / "fuzz.db")
+        network = ZmailNetwork(n_isps=3, users_per_isp=4, seed=99)
+        store = DurableStore.create(path)
+        init_store(store, network)
+        tracker = _traffic(network)
+        commit_network(store, network, tracker, barrier=1)
+        store.close()
+        return path, durable_digest(network)
+
+    def test_fuzzed_store_never_wrong(self, tmp_path, populated):
+        path, pristine = populated
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        rng = random.Random(4321)
+        raised = clean = 0
+        for index, mutant in enumerate(_mutations(rng, blob)):
+            target = str(tmp_path / f"mutant{index}.db")
+            with open(target, "wb") as handle:
+                handle.write(mutant)
+            try:
+                with DurableStore.open(target) as store:
+                    store.verify()
+                    digest = durable_digest(restore_network(store))
+            except SimulationError:
+                raised += 1
+            else:
+                assert digest == pristine, (
+                    f"mutation {index} silently produced a wrong ledger"
+                )
+                clean += 1
+        assert raised + clean == N_MUTATIONS
+        assert raised > 0, "no mutation was even detected — fuzz too weak"
+
+    def test_truncated_store_raises(self, populated):
+        path, _ = populated
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(SimulationError):
+            with DurableStore.open(path) as store:
+                store.verify()
+                restore_network(store)

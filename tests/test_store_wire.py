@@ -1,0 +1,84 @@
+"""Round-trip tests for the in-flight payload codecs the store persists."""
+
+import pytest
+
+from repro.chaos.snapshot import (
+    ChaosSnapshotReply,
+    ChaosSnapshotRequest,
+    SnapshotAbort,
+)
+from repro.core.transfer import Letter
+from repro.errors import SimulationError
+from repro.sim.workload import Address, TrafficKind
+from repro.store.wire import decode_send, decode_wire, encode_send, encode_wire
+
+
+class TestWireRoundTrip:
+    def test_letter(self):
+        letter = Letter(
+            sender=Address(0, 1),
+            recipient=Address(2, 3),
+            kind=TrafficKind.NORMAL,
+            paid=True,
+            content=("subject", "body"),
+        )
+        assert decode_wire(encode_wire(letter)) == letter
+
+    def test_letter_without_content(self):
+        letter = Letter(
+            sender=Address(1, 0),
+            recipient=Address(0, 2),
+            kind=TrafficKind.SPAM,
+            paid=False,
+            content=None,
+        )
+        assert decode_wire(encode_wire(letter)) == letter
+
+    def test_snapshot_request(self):
+        message = ChaosSnapshotRequest(token=4, quiesce=1.5)
+        assert decode_wire(encode_wire(message)) == message
+
+    def test_snapshot_reply(self):
+        message = ChaosSnapshotReply(
+            token=2, isp_id=1, credit={0: 3, 2: -3}
+        )
+        assert decode_wire(encode_wire(message)) == message
+
+    def test_snapshot_abort(self):
+        message = SnapshotAbort(token=9)
+        assert decode_wire(encode_wire(message)) == message
+
+    def test_unsupported_payload_type_raises(self):
+        with pytest.raises(SimulationError, match="cannot persist"):
+            encode_wire(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SimulationError, match="unknown wire payload"):
+            decode_wire({"t": "mystery"})
+
+    def test_malformed_blob_raises(self):
+        with pytest.raises(SimulationError, match="malformed wire payload"):
+            decode_wire({"t": "letter", "sender": [0]})
+
+
+class TestSendRoundTrip:
+    def test_deferred_send(self):
+        payload = (
+            Address(0, 1),
+            Address(1, 2),
+            TrafficKind.NORMAL,
+            ("hello",),
+        )
+        assert decode_send(encode_send(payload)) == payload
+
+    def test_deferred_send_without_content(self):
+        payload = (Address(2, 0), Address(0, 0), TrafficKind.SPAM, None)
+        assert decode_send(encode_send(payload)) == payload
+
+    def test_not_a_tuple_raises(self):
+        with pytest.raises(SimulationError, match="deferred send"):
+            encode_send("not a tuple")
+
+    def test_malformed_blob_raises(self):
+        with pytest.raises(SimulationError, match="malformed deferred send"):
+            decode_send({"sender": [0, 0]})

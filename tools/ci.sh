@@ -35,6 +35,10 @@
 #    multiset, protocol metrics and accounting digest all agree. The
 #    throughput gate additionally requires the committed columnar run
 #    to hold a >=3x lead over engine_stream at full scale.
+# 8. Runs the store soak smoke: a short seeded soak with two injected
+#    crash/restart cycles against the durable SQLite store must produce
+#    a run manifest byte-identical to the uninterrupted in-memory
+#    oracle (cmp) — the recovery-equivalence contract of repro.store.
 #
 # The committed reference was measured on a developer machine; raw
 # msgs/sec on other hardware differ, so the default tolerance is loose
@@ -54,13 +58,14 @@ PYTHONPATH=src python -m pytest -x -q
 
 if [ "${CI_COVERAGE:-1}" != "0" ]; then
     COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
-    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/reconcile at 90%) =="
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/store/reconcile at 90%) =="
     PYTHONPATH=src python tools/coverage_gate.py \
         --target src/repro \
         --floor "${COVERAGE_FLOOR}" \
         --require-100 obs \
         --require cluster=90 \
         --require columnar=90 \
+        --require store=90 \
         --require core/reconcile.py=90 \
         -- -q -p no:cacheprovider
 else
@@ -185,5 +190,23 @@ PYTHONPATH=src python -m repro trace --seed "${COLUMNAR_SEED}" \
 cmp /tmp/invariant_columnar.json /tmp/invariant_engine.json \
     || { echo "columnar executor diverges from the engine"; exit 1; }
 echo "invariant manifests byte-identical across executors"
+
+SOAK_SEED="${CI_SOAK_SEED:-7}"
+echo "== store soak smoke (seed ${SOAK_SEED}, durable vs in-memory oracle) =="
+# Recovery-equivalence gate: the same seeded crash/restart/flood soak
+# run against the durable store (every restart rebuilt from disk) and
+# as an uninterrupted in-memory oracle must produce byte-identical run
+# manifests. Two crash/restart cycles are injected by default.
+PYTHONPATH=src python -m repro soak --seed "${SOAK_SEED}" \
+    --days 0.25 --crashes 2 \
+    --store /tmp/soak_store.db \
+    --manifest /tmp/soak_manifest_durable.json
+PYTHONPATH=src python -m repro soak --seed "${SOAK_SEED}" \
+    --days 0.25 --crashes 2 --oracle \
+    --manifest /tmp/soak_manifest_oracle.json >/dev/null
+cmp /tmp/soak_manifest_durable.json /tmp/soak_manifest_oracle.json \
+    || { echo "durable soak diverges from the in-memory oracle"; exit 1; }
+rm -f /tmp/soak_store.db
+echo "soak manifests byte-identical (recovery equivalence holds)"
 
 echo "== CI gate passed =="
