@@ -28,7 +28,12 @@ from ..obs.trace import TraceRecorder
 from ..sim.engine import Engine
 from ..sim.network import LinkSpec, Network
 from ..sim.rng import SeededStreams
-from ..sim.workload import Address, SendRequest, TrafficKind
+from ..sim.workload import (
+    Address,
+    FloodSpec,
+    SendRequest,
+    TrafficKind,
+)
 
 __all__ = [
     "FaultSpec",
@@ -86,48 +91,9 @@ class FaultSpec:
 NO_FAULTS = FaultSpec()
 
 
-@dataclass(frozen=True)
-class FloodSpec:
-    """A burst/flood load-injection fault: overload as a first-class fault.
-
-    A set of ``attackers`` user machines at ``attacker_isp`` blast
-    Poisson traffic at ``rate_per_sec`` (aggregate) toward random users
-    of ``target_isp`` over ``[start, start + duration)``. The attack
-    traffic is ordinary :class:`SendRequest` workload — overload is an
-    *admission-layer* fault, so it is injected where mail enters the
-    system, not on the wire.
-
-    Attributes:
-        attacker_isp: ISP hosting the flooding machines (the ISP whose
-            admission controller absorbs the burst).
-        target_isp: ISP whose users receive the flood.
-        rate_per_sec: Aggregate offered load of the flood.
-        start: Virtual time the burst begins.
-        duration: Burst length in seconds.
-        attackers: Number of distinct compromised sender machines.
-        kind: Traffic classification of the flood (``"zombie"`` by
-            default — sheds first under the priority policy).
-    """
-
-    attacker_isp: int = 0
-    target_isp: int = 1
-    rate_per_sec: float = 100.0
-    start: float = 0.0
-    duration: float = 60.0
-    attackers: int = 4
-    kind: str = "zombie"
-
-    def __post_init__(self) -> None:
-        if self.rate_per_sec <= 0:
-            raise SimulationError("flood rate_per_sec must be positive")
-        if self.duration <= 0:
-            raise SimulationError("flood duration must be positive")
-        if self.start < 0:
-            raise SimulationError("flood start must be non-negative")
-        if self.attackers < 1:
-            raise SimulationError("flood needs at least one attacker")
-        if self.kind not in TrafficKind._value2member_map_:
-            raise SimulationError(f"unknown flood traffic kind {self.kind!r}")
+# FloodSpec moved to repro.sim.workload (floods are plain traffic shared
+# with the scenario compiler's executor-neutral FloodWorkload); it stays
+# re-exported here for every existing chaos import site.
 
 
 def flood_requests(

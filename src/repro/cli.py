@@ -30,6 +30,12 @@ the system work without writing code:
 * ``soak``        — the recovery-equivalence soak: a crash/restart-laden
   scenario over the durable store whose manifest must be byte-identical
   to the in-memory oracle run (``--oracle``).
+* ``run``         — compile a declarative scenario document (JSON/YAML)
+  and execute it unchanged on any drive: direct loop, columnar batch,
+  event engine, sharded cluster or fault-injecting chaos.
+* ``fuzz``        — seeded differential fuzzing campaign: N generated
+  worlds through every executor, byte-comparing invariant manifests;
+  failures shrink to minimal worlds replayable with ``--replay``.
 """
 
 from __future__ import annotations
@@ -322,6 +328,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="PATH", default=None,
         help="write the run manifest here (byte-identical between the "
         "durable and oracle runs of the same seed)",
+    )
+
+    run = sub.add_parser(
+        "run",
+        help="compile a scenario document (JSON/YAML) and execute it on "
+        "one drive; the invariant manifest is byte-identical across "
+        "direct/columnar/engine/cluster for the same document",
+    )
+    run.add_argument(
+        "scenario", metavar="PATH",
+        help="scenario document (.json or .yaml, schema_version-pinned)",
+    )
+    run.add_argument(
+        "--mode",
+        choices=("direct", "columnar", "engine", "cluster", "chaos"),
+        default="direct",
+        help="drive to execute the compiled plan on (default direct)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="cluster mode: worker count (default: the document's "
+        "cluster.shards); the manifest does not depend on it",
+    )
+    run.add_argument(
+        "--lag", type=int, default=None, metavar="K",
+        help="cluster mode: bounded-lag drive, shards up to K epochs "
+        "apart (default: the document's cluster.lag)",
+    )
+    run.add_argument(
+        "--cluster-mode", choices=("inline", "spawn"), default="inline",
+        help="cluster mode: drive workers in-process (default) or as "
+        "spawned processes",
+    )
+    run.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the cross-executor invariant manifest here "
+        "(unavailable in chaos mode)",
+    )
+    run.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the drive's native report JSON here",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign: N seeded random worlds "
+        "through every executor, byte-comparing invariant manifests; "
+        "failing worlds shrink to minimal reproductions",
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=25, metavar="N",
+        help="number of generated worlds (default 25)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; world i generates from "
+        "derive_seed(seed, 'world:i') (default 0)",
+    )
+    fuzz.add_argument(
+        "--shards", type=int, default=2,
+        help="cluster shard count for the executor matrix (default 2; "
+        "clamped to the world's ISP count)",
+    )
+    fuzz.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write failing-world artifacts (original + shrunk "
+        "documents) into this directory",
+    )
+    fuzz.add_argument(
+        "--replay", metavar="SEED:INDEX", default=None,
+        help="re-run (and re-shrink) one world from a failure report "
+        "instead of a fresh campaign",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full campaign report as JSON instead of text",
+    )
+    fuzz.add_argument(
+        "--max-shrink-steps", type=int, default=200, metavar="N",
+        help="oracle-call budget per shrink descent (default 200)",
     )
     return parser
 
@@ -765,6 +851,77 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenario import compile_scenario, run_plan
+
+    plan = compile_scenario(args.scenario)
+    result = run_plan(
+        plan,
+        args.mode,
+        shards=args.shards,
+        lag=args.lag,
+        cluster_mode=args.cluster_mode,
+    )
+    manifest = result["manifest"]
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(result["report"], sort_keys=True, indent=2) + "\n"
+            )
+    print(f"scenario:        {plan.name}")
+    print(f"scenario digest: {plan.digest}")
+    print(f"mode:            {result['mode']}")
+    if manifest is None:
+        row = result["report"]
+        print(f"chaos cell:      {row['cell']} (seed {row['seed']})")
+        print(f"converged:       {row['converged']}")
+        print(f"conserved:       {row['conserved']}")
+        print(f"passed:          {row['passed']}")
+        if args.manifest:
+            print("note: chaos mode reports a campaign row; no invariant "
+                  "manifest was written")
+        return 0 if row["passed"] else 1
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            handle.write(manifest.to_json())
+    extra = manifest.extra
+    print(f"sends attempted: {extra['sends_attempted']}")
+    print(f"events:          {manifest.event_count}")
+    print(f"zombies caught:  {extra['zombies_detected']}")
+    print(f"conserved:       {extra['conserved']}")
+    print(f"manifest digest: {manifest.digest()}")
+    return 0 if extra["conserved"] else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenario import format_report, replay_world, run_fuzz
+
+    if args.replay:
+        report = replay_world(
+            args.replay,
+            shards=args.shards,
+            out=args.out,
+            max_shrink_steps=args.max_shrink_steps,
+        )
+    else:
+        report = run_fuzz(
+            count=args.count,
+            seed=args.seed,
+            shards=args.shards,
+            out=args.out,
+            max_shrink_steps=args.max_shrink_steps,
+        )
+    if args.as_json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(format_report(report))
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -782,6 +939,8 @@ _COMMANDS = {
     "serve": cmd_serve,
     "selftest": cmd_selftest,
     "soak": cmd_soak,
+    "run": cmd_run,
+    "fuzz": cmd_fuzz,
 }
 
 

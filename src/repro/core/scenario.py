@@ -31,6 +31,8 @@ from ..sim.clock import DAY
 from ..sim.rng import SeededStreams
 from ..sim.workload import (
     Address,
+    FloodSpec,
+    FloodWorkload,
     NormalUserWorkload,
     SpamCampaignWorkload,
     TrafficKind,
@@ -132,6 +134,11 @@ class Scenario:
     normal_rate_per_day: float = 8.0
     spammers: list[SpammerSpec] = field(default_factory=list)
     zombies: list[ZombieSpec] = field(default_factory=list)
+    # Flood bursts as real traffic on every executor (direct, engine,
+    # columnar, cluster) — the scenario compiler lowers overload
+    # profiles here. Distinct from the chaos harness's flood_requests,
+    # which injects floods only into ChaosDeployment campaigns.
+    floods: list[FloodSpec] = field(default_factory=list)
     reconcile_every: float = 0.0
     # Engine mode: letters travel a FIFO latency network and
     # reconciliation uses the marker snapshot on virtual time.
@@ -227,6 +234,19 @@ class Scenario:
                     streams=spawned,
                 ).generate()
             )
+        for index, spec in enumerate(self.floods):
+            spawned = streams.spawn(f"flood{index}")
+            if keep is not None and spec.attacker_isp not in keep:
+                continue
+            iterators.append(
+                FloodWorkload(
+                    spec=spec,
+                    n_isps=self.n_isps,
+                    users_per_isp=self.users_per_isp,
+                    streams=spawned,
+                    name=f"flood{index}",
+                ).generate()
+            )
         return iterators
 
     # Backwards-compatible private alias (pre-cluster callers).
@@ -277,6 +297,18 @@ class Scenario:
             )
             column_streams.append(
                 (TrafficKind.ZOMBIE, workload.generate_columns())
+            )
+        for index, spec in enumerate(self.floods):
+            spawned = streams.spawn(f"flood{index}")
+            workload = FloodWorkload(
+                spec=spec,
+                n_isps=self.n_isps,
+                users_per_isp=self.users_per_isp,
+                streams=spawned,
+                name=f"flood{index}",
+            )
+            column_streams.append(
+                (TrafficKind(spec.kind), workload.generate_columns())
             )
         return column_streams
 

@@ -1,0 +1,62 @@
+"""The scenario compiler: declarative worlds, one document per world.
+
+A scenario document (JSON/YAML, ``schema_version``-pinned) composes
+topology, economics, traffic (spam, zombies, floods), reconciliation
+cadence, fault/crash schedules, overload profile and cluster layout into
+one artifact. :func:`compile_scenario` lowers it to every executor the
+library has; :func:`run_plan` executes it and emits the cross-executor
+invariant manifest; :func:`generate_doc` samples random valid worlds
+from a seed; :func:`run_fuzz` turns that into a differential fuzzing
+campaign with shrinking. See DESIGN.md §14.
+"""
+
+from .compiler import (
+    INVARIANT_EVENT_TYPES,
+    PLAN_MODES,
+    ScenarioPlan,
+    compile_scenario,
+    run_plan,
+)
+from .fuzz import (
+    check_world,
+    cluster_comparable,
+    format_report,
+    parse_replay,
+    replay_world,
+    run_fuzz,
+    world_seed,
+)
+from .generate import generate_doc
+from .schema import (
+    SCHEMA_VERSION,
+    canonical_dump,
+    load,
+    parse,
+    scenario_digest,
+    validate,
+)
+from .shrink import shrink, shrink_candidates
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PLAN_MODES",
+    "INVARIANT_EVENT_TYPES",
+    "ScenarioPlan",
+    "compile_scenario",
+    "run_plan",
+    "validate",
+    "parse",
+    "load",
+    "canonical_dump",
+    "scenario_digest",
+    "generate_doc",
+    "shrink",
+    "shrink_candidates",
+    "world_seed",
+    "cluster_comparable",
+    "check_world",
+    "run_fuzz",
+    "replay_world",
+    "parse_replay",
+    "format_report",
+]

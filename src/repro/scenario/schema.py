@@ -1,0 +1,443 @@
+"""The versioned scenario schema: one document describing a whole world.
+
+A scenario document is plain data (JSON, or YAML when available) with a
+``schema_version`` pin and a fixed set of sections — topology, economics,
+traffic (spammers, zombies, floods), reconciliation cadence, fault
+schedule, overload profile, chaos-drive parameters and cluster layout.
+:func:`validate` normalizes a document into its canonical fully-defaulted
+form and rejects everything else **loudly**: unknown keys at any level,
+a missing or unsupported ``schema_version``, out-of-range addresses,
+type mismatches and cluster layouts whose epochs cannot tile the run are
+all :class:`~repro.errors.SimulationError`\\ s naming the offending path.
+Silence is the one failure mode a fuzzing surface cannot afford.
+
+Canonical form is the schema's fixed point: :func:`canonical_dump`
+serializes a validated document with sorted keys and every default
+materialized, and parsing that dump validates back to the identical
+document (property-tested). :func:`scenario_digest` hashes those
+canonical bytes, giving every world a stable identity that run manifests
+pin, so a manifest names exactly which world produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..core.config import NonCompliantMailPolicy
+from ..errors import SimulationError
+from ..sim.clock import DAY, HOUR
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "validate",
+    "parse",
+    "load",
+    "canonical_dump",
+    "scenario_digest",
+]
+
+#: Bumped when sections, keys, or their meaning change.
+SCHEMA_VERSION = 1
+
+_POLICIES = tuple(p.value for p in NonCompliantMailPolicy)
+_TRAFFIC_KINDS = ("normal", "spam", "zombie")
+
+# Every known key with (default, validator). A validator returns the
+# normalized value or raises ValueError with a human reason; the walker
+# wraps that into a SimulationError naming the full document path.
+
+
+def _int(minimum=None, maximum=None):
+    def check(value):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"expected an integer, got {value!r}")
+        if minimum is not None and value < minimum:
+            raise ValueError(f"must be >= {minimum}, got {value}")
+        if maximum is not None and value > maximum:
+            raise ValueError(f"must be <= {maximum}, got {value}")
+        return value
+
+    return check
+
+
+def _number(minimum=None, *, exclusive=False):
+    def check(value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"expected a number, got {value!r}")
+        value = float(value)
+        if minimum is not None:
+            if exclusive and value <= minimum:
+                raise ValueError(f"must be > {minimum}, got {value}")
+            if not exclusive and value < minimum:
+                raise ValueError(f"must be >= {minimum}, got {value}")
+        return value
+
+    return check
+
+
+def _rate():
+    def check(value):
+        value = _number(0.0)(value)
+        if value > 1.0:
+            raise ValueError(f"must be a probability in [0, 1], got {value}")
+        return value
+
+    return check
+
+
+def _string(choices=None):
+    def check(value):
+        if not isinstance(value, str):
+            raise ValueError(f"expected a string, got {value!r}")
+        if choices is not None and value not in choices:
+            raise ValueError(f"must be one of {sorted(choices)}, got {value!r}")
+        return value
+
+    return check
+
+
+def _bool(value):
+    if not isinstance(value, bool):
+        raise ValueError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _int_list(value):
+    if not isinstance(value, list) or any(
+        isinstance(item, bool) or not isinstance(item, int) for item in value
+    ):
+        raise ValueError(f"expected a list of integers, got {value!r}")
+    return list(value)
+
+
+#: section -> key -> (default, validator). Defaults mirror the library's
+#: own (core Scenario / ZmailConfig / OverloadConfig / campaign) defaults
+#: so an empty section means "what the code would have done anyway".
+_SECTIONS: dict[str, dict[str, tuple[Any, Any]]] = {
+    "topology": {
+        "n_isps": (3, _int(1)),
+        "users_per_isp": (10, _int(1)),
+        "noncompliant": ([], _int_list),
+    },
+    "economics": {
+        "default_daily_limit": (200, _int(0)),
+        "default_user_balance": (100, _int(0)),
+        "default_user_account": (500, _int(0)),
+        "initial_pool": (10_000, _int(0)),
+        "minavail": (2_000, _int(0)),
+        "maxavail": (50_000, _int(0)),
+        "initial_bank_account": (1_000_000, _int(0)),
+        "snapshot_quiesce_seconds": (600.0, _number(0.0)),
+        "reconciliation_period": (30 * DAY, _number(0.0, exclusive=True)),
+        "noncompliant_policy": ("deliver", _string(_POLICIES)),
+        "auto_topup_amount": (50, _int(0)),
+        "use_crypto": (False, _bool),
+    },
+    "traffic": {
+        "duration": (5 * DAY, _number(0.0, exclusive=True)),
+        "normal_rate_per_day": (8.0, _number(0.0)),
+        "spammers": ([], None),  # validated per-item below
+        "zombies": ([], None),
+        "floods": ([], None),
+    },
+    "reconcile": {
+        "every": (0.0, _number(0.0)),
+    },
+    "faults": {
+        "drop_rate": (0.0, _rate()),
+        "duplicate_rate": (0.0, _rate()),
+        "reorder_rate": (0.0, _rate()),
+        "reorder_delay": (2.0, _number(0.0)),
+        "extra_delay": (0.0, _number(0.0)),
+    },
+    "overload": {
+        # Off by default: ``enabled: false`` means the deployment runs
+        # with no admission layer at all, which is NOT the same as an
+        # admission layer with default knobs.
+        "enabled": (False, _bool),
+        "admit_rate": (50.0, _number(0.0, exclusive=True)),
+        "admit_burst": (100, _int(1)),
+        "queue_capacity": (512, _int(0)),
+        "retry_base": (2.0, _number(0.0, exclusive=True)),
+        "retry_backoff": (2.0, _number(1.0)),
+        "retry_max_interval": (120.0, _number(0.0, exclusive=True)),
+        "max_retries": (4, _int(0)),
+        "shed_audit_cap": (256, _int(1)),
+        "breaker_failure_threshold": (3, _int(1)),
+        "breaker_reset_timeout": (30.0, _number(0.0, exclusive=True)),
+        "breaker_backlog_limit": (256, _int(1)),
+    },
+    "chaos": {
+        "cell": (None, None),  # defaults to the document name
+        "drain_window": (900.0, _number(0.0, exclusive=True)),
+        "monitor_interval": (5.0, _number(0.0, exclusive=True)),
+    },
+    "cluster": {
+        "shards": (1, _int(1)),
+        "epoch": (HOUR, _number(0.0, exclusive=True)),
+        "lag": (0, _int(0)),
+    },
+}
+
+#: Item schema for the top-level ``crashes`` list (chaos drive only).
+_CRASH_SCHEMA: dict[str, tuple[Any, Any]] = {
+    "node": (None, _string()),
+    "at": (None, _number(0.0)),
+    "down_for": (None, _number(0.0, exclusive=True)),
+}
+
+_ITEM_SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
+    "spammers": {
+        "isp": (None, _int(0)),
+        "user": (0, _int(0)),
+        "volume": (None, _int(1)),
+        "war_chest": (0, _int(0)),
+        "start": (0.0, _number(0.0)),
+        "duration": (DAY, _number(0.0, exclusive=True)),
+    },
+    "zombies": {
+        "isp": (None, _int(0)),
+        "user": (0, _int(0)),
+        "rate_per_hour": (None, _number(0.0, exclusive=True)),
+        "start": (None, _number(0.0)),
+        "end": (None, _number(0.0, exclusive=True)),
+    },
+    "floods": {
+        "attacker_isp": (None, _int(0)),
+        "target_isp": (None, _int(0)),
+        "rate_per_sec": (None, _number(0.0, exclusive=True)),
+        "start": (0.0, _number(0.0)),
+        "duration": (60.0, _number(0.0, exclusive=True)),
+        "attackers": (4, _int(1)),
+        "kind": ("zombie", _string(_TRAFFIC_KINDS)),
+    },
+}
+
+
+def _check(path: str, value, validator):
+    try:
+        return validator(value)
+    except ValueError as exc:
+        raise SimulationError(f"scenario {path}: {exc}") from None
+
+
+def _walk_section(name: str, section, schema) -> dict[str, Any]:
+    if not isinstance(section, dict):
+        raise SimulationError(f"scenario {name}: expected a mapping")
+    unknown = sorted(set(section) - set(schema))
+    if unknown:
+        raise SimulationError(
+            f"scenario {name}: unknown keys {unknown}; "
+            f"known keys are {sorted(schema)}"
+        )
+    out: dict[str, Any] = {}
+    for key, (default, validator) in schema.items():
+        if key in section:
+            value = section[key]
+            out[key] = (
+                _check(f"{name}.{key}", value, validator) if validator else value
+            )
+        else:
+            if default is None and validator is not None:
+                raise SimulationError(f"scenario {name}.{key}: required")
+            out[key] = default
+    return out
+
+
+def _walk_items(name: str, items) -> list[dict[str, Any]]:
+    if not isinstance(items, list):
+        raise SimulationError(f"scenario traffic.{name}: expected a list")
+    return [
+        _walk_section(f"traffic.{name}[{i}]", item, _ITEM_SCHEMAS[name])
+        for i, item in enumerate(items)
+    ]
+
+
+def validate(doc: dict[str, Any]) -> dict[str, Any]:
+    """Normalize ``doc`` to canonical form, or raise loudly.
+
+    Returns a new document with every section present, every default
+    materialized, and every value type-normalized. Never mutates ``doc``.
+    """
+    if not isinstance(doc, dict):
+        raise SimulationError("scenario document must be a mapping")
+    version = doc.get("schema_version")
+    if version is None:
+        raise SimulationError(
+            "scenario document has no schema_version; "
+            f"this library speaks version {SCHEMA_VERSION}"
+        )
+    if version != SCHEMA_VERSION:
+        raise SimulationError(
+            f"scenario schema_version {version!r} is not supported; "
+            f"this library speaks version {SCHEMA_VERSION}"
+        )
+    known_top = {"schema_version", "name", "seed", "crashes", *_SECTIONS}
+    unknown = sorted(set(doc) - known_top)
+    if unknown:
+        raise SimulationError(
+            f"scenario document: unknown keys {unknown}; "
+            f"known keys are {sorted(known_top)}"
+        )
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise SimulationError("scenario name: required non-empty string")
+    out: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "seed": _check("seed", doc.get("seed", 0), _int()),
+    }
+    for section, schema in _SECTIONS.items():
+        out[section] = _walk_section(section, doc.get(section, {}), schema)
+    for kind in _ITEM_SCHEMAS:
+        out["traffic"][kind] = _walk_items(kind, out["traffic"][kind])
+    crashes = doc.get("crashes", [])
+    if not isinstance(crashes, list):
+        raise SimulationError("scenario crashes: expected a list")
+    out["crashes"] = [
+        _walk_section(f"crashes[{i}]", crash, _CRASH_SCHEMA)
+        for i, crash in enumerate(crashes)
+    ]
+    if out["chaos"]["cell"] is not None and (
+        not isinstance(out["chaos"]["cell"], str) or not out["chaos"]["cell"]
+    ):
+        raise SimulationError("scenario chaos.cell: expected a non-empty string")
+    _cross_validate(out)
+    return out
+
+
+def _cross_validate(doc: dict[str, Any]) -> None:
+    """Rules that span sections: address ranges, flood shape, epochs."""
+    topo = doc["topology"]
+    n_isps, users = topo["n_isps"], topo["users_per_isp"]
+    for isp in topo["noncompliant"]:
+        if not 0 <= isp < n_isps:
+            raise SimulationError(
+                f"scenario topology.noncompliant: ISP {isp} outside "
+                f"[0, {n_isps})"
+            )
+    if len(set(topo["noncompliant"])) != len(topo["noncompliant"]):
+        raise SimulationError(
+            "scenario topology.noncompliant: duplicate ISP ids"
+        )
+    economics = doc["economics"]
+    if economics["minavail"] > economics["maxavail"]:
+        raise SimulationError(
+            "scenario economics: minavail exceeds maxavail"
+        )
+    traffic = doc["traffic"]
+    duration = traffic["duration"]
+    for i, spec in enumerate(traffic["spammers"]):
+        _check_address(f"traffic.spammers[{i}]", spec["isp"], spec["user"],
+                       n_isps, users)
+    for i, spec in enumerate(traffic["zombies"]):
+        _check_address(f"traffic.zombies[{i}]", spec["isp"], spec["user"],
+                       n_isps, users)
+        if spec["end"] <= spec["start"]:
+            raise SimulationError(
+                f"scenario traffic.zombies[{i}]: end must exceed start"
+            )
+    for i, spec in enumerate(traffic["floods"]):
+        for side in ("attacker_isp", "target_isp"):
+            if not 0 <= spec[side] < n_isps:
+                raise SimulationError(
+                    f"scenario traffic.floods[{i}].{side}: ISP "
+                    f"{spec[side]} outside [0, {n_isps})"
+                )
+        if spec["attacker_isp"] == spec["target_isp"]:
+            raise SimulationError(
+                f"scenario traffic.floods[{i}]: attacker and target "
+                "must be different ISPs"
+            )
+    for i, crash in enumerate(doc["crashes"]):
+        node = crash["node"]
+        valid = node == "bank" or (
+            node.startswith("isp")
+            and node[3:].isdigit()
+            and int(node[3:]) < n_isps
+        )
+        if not valid:
+            raise SimulationError(
+                f"scenario crashes[{i}].node: {node!r} is neither 'bank' "
+                f"nor 'isp0'..'isp{n_isps - 1}'"
+            )
+    cluster = doc["cluster"]
+    if cluster["shards"] > n_isps:
+        raise SimulationError(
+            f"scenario cluster.shards: {cluster['shards']} shards cannot "
+            f"partition {n_isps} ISPs"
+        )
+    if cluster["shards"] > 1:
+        epoch = cluster["epoch"]
+        for label, period in (
+            ("traffic.duration", duration),
+            ("one day (midnight processing)", DAY),
+            ("reconcile.every", doc["reconcile"]["every"]),
+        ):
+            if period > 0 and round(period / epoch) * epoch != period:
+                raise SimulationError(
+                    f"scenario cluster.epoch {epoch} does not tile "
+                    f"{label} ({period}); shards would cut mid-boundary"
+                )
+
+
+def _check_address(path, isp, user, n_isps, users_per_isp):
+    if not 0 <= isp < n_isps:
+        raise SimulationError(
+            f"scenario {path}.isp: ISP {isp} outside [0, {n_isps})"
+        )
+    if not 0 <= user < users_per_isp:
+        raise SimulationError(
+            f"scenario {path}.user: user {user} outside [0, {users_per_isp})"
+        )
+
+
+def parse(text: str, *, source: str = "<string>") -> dict[str, Any]:
+    """Parse JSON (preferred) or YAML text into a canonical document."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as json_err:
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - yaml is normally present
+            raise SimulationError(
+                f"{source}: not valid JSON ({json_err}) and PyYAML is "
+                "unavailable"
+            ) from json_err
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as yaml_err:
+            raise SimulationError(
+                f"{source}: parses as neither JSON ({json_err}) nor YAML "
+                f"({yaml_err})"
+            ) from yaml_err
+    if not isinstance(doc, dict):
+        raise SimulationError(f"{source}: scenario document must be a mapping")
+    return validate(doc)
+
+
+def load(path: str) -> dict[str, Any]:
+    """Load and validate a scenario file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), source=path)
+
+
+def canonical_dump(doc: dict[str, Any]) -> str:
+    """The canonical bytes of a validated document (ends with a newline).
+
+    Sorted keys, two-space indent, every default materialized — the form
+    committed under ``examples/scenarios/`` and hashed by
+    :func:`scenario_digest`. ``parse(canonical_dump(d))`` is ``d`` for
+    any validated ``d`` (property-tested round-trip identity).
+    """
+    return json.dumps(validate(doc), sort_keys=True, indent=2) + "\n"
+
+
+def scenario_digest(doc: dict[str, Any]) -> str:
+    """SHA-256 over the canonical document bytes — the world's identity."""
+    canonical = json.dumps(
+        validate(doc), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

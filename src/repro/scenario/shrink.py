@@ -1,0 +1,205 @@
+"""Greedy, deterministic shrinking of failing scenario documents.
+
+Given a world that fails a predicate, :func:`shrink` walks toward the
+smallest world that still fails, hypothesis-style but with no RNG: each
+pass proposes a fixed, ordered list of simplifications (drop an actor,
+clear the fault schedule, zero the background rate, halve the duration,
+halve volumes, drop an ISP…), adopts the first one that still fails,
+and repeats until none does. Determinism matters more than cleverness
+here — the same failing seed must shrink to the same minimal world on
+every machine, so the shrunken document committed to a regression corpus
+is reproducible from the seed alone.
+
+Every candidate is re-validated against the schema before the predicate
+runs; a simplification that produces an invalid document (a flood whose
+attacker ISP was dropped, an epoch that no longer tiles the halved
+duration) is simply skipped.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterator
+
+from ..errors import SimulationError
+from ..sim.clock import HOUR
+from .schema import validate
+
+__all__ = ["shrink", "shrink_candidates"]
+
+
+def _snap_hours(value: float) -> float:
+    """Round a duration down to a whole multiple of 6 hours (min 6h)."""
+    return max(1, int(value // (6 * HOUR))) * 6 * HOUR
+
+
+def shrink_candidates(doc: dict[str, Any]) -> Iterator[dict[str, Any]]:
+    """Ordered simplifications of ``doc``, strictly smaller worlds first.
+
+    Yields raw candidate documents; callers must validate (``shrink``
+    does). Order encodes shrink priority: removing whole actors beats
+    shrinking numbers, and structural shrinks (topology, duration) come
+    last because they invalidate the most other sections.
+    """
+    traffic = doc["traffic"]
+
+    # 1. Drop one adversarial actor at a time.
+    for kind in ("floods", "zombies", "spammers"):
+        for index in range(len(traffic[kind])):
+            out = copy.deepcopy(doc)
+            del out["traffic"][kind][index]
+            yield out
+
+    # 2. Clear the chaos-only schedule (faults, crashes, overload).
+    #    Only the injection knobs count as "faults present": reorder_delay
+    #    carries a nonzero default that survives clearing, so testing it
+    #    would re-propose the identical document forever.
+    if any(
+        doc["faults"][key]
+        for key in ("drop_rate", "duplicate_rate", "reorder_rate",
+                    "extra_delay")
+    ):
+        out = copy.deepcopy(doc)
+        out["faults"] = {}
+        yield out
+    if doc["crashes"]:
+        out = copy.deepcopy(doc)
+        out["crashes"] = []
+        yield out
+    if doc["overload"]["enabled"]:
+        out = copy.deepcopy(doc)
+        out["overload"]["enabled"] = False
+        yield out
+
+    # 3. Silence the background correspondence entirely.
+    if traffic["normal_rate_per_day"] > 0:
+        out = copy.deepcopy(doc)
+        out["traffic"]["normal_rate_per_day"] = 0.0
+        yield out
+
+    # 4. Turn off reconciliation cadence (a final round still runs).
+    if doc["reconcile"]["every"] > 0:
+        out = copy.deepcopy(doc)
+        out["reconcile"]["every"] = 0.0
+        yield out
+
+    # 5. Make every ISP compliant.
+    if doc["topology"]["noncompliant"]:
+        out = copy.deepcopy(doc)
+        out["topology"]["noncompliant"] = []
+        yield out
+
+    # 6. Halve volumes and rates (with floors so progress terminates).
+    for index, spec in enumerate(traffic["spammers"]):
+        if spec["volume"] > 10:
+            out = copy.deepcopy(doc)
+            out["traffic"]["spammers"][index]["volume"] = spec["volume"] // 2
+            yield out
+    for index, spec in enumerate(traffic["zombies"]):
+        if spec["rate_per_hour"] > 10:
+            out = copy.deepcopy(doc)
+            out["traffic"]["zombies"][index]["rate_per_hour"] = round(
+                spec["rate_per_hour"] / 2, 3
+            )
+            yield out
+    for index, spec in enumerate(traffic["floods"]):
+        if spec["rate_per_sec"] > 0.5:
+            out = copy.deepcopy(doc)
+            out["traffic"]["floods"][index]["rate_per_sec"] = round(
+                spec["rate_per_sec"] / 2, 3
+            )
+            yield out
+        if spec["attackers"] > 1:
+            out = copy.deepcopy(doc)
+            out["traffic"]["floods"][index]["attackers"] = 1
+            yield out
+    if traffic["normal_rate_per_day"] > 2:
+        out = copy.deepcopy(doc)
+        out["traffic"]["normal_rate_per_day"] = round(
+            traffic["normal_rate_per_day"] / 2, 3
+        )
+        yield out
+
+    # 7. Halve the run (snapped so cluster epochs keep tiling).
+    if traffic["duration"] > 6 * HOUR:
+        out = copy.deepcopy(doc)
+        out["traffic"]["duration"] = _snap_hours(traffic["duration"] / 2)
+        yield out
+
+    # 8. Shrink the topology: drop the highest ISP (with every actor
+    #    that references it), then shrink ISP size.
+    topo = doc["topology"]
+    if topo["n_isps"] > 2:
+        out = copy.deepcopy(doc)
+        last = topo["n_isps"] - 1
+        out["topology"]["n_isps"] = last
+        out["topology"]["noncompliant"] = [
+            isp for isp in topo["noncompliant"] if isp < last
+        ]
+        out["traffic"]["spammers"] = [
+            s for s in traffic["spammers"] if s["isp"] < last
+        ]
+        out["traffic"]["zombies"] = [
+            z for z in traffic["zombies"] if z["isp"] < last
+        ]
+        out["traffic"]["floods"] = [
+            f for f in traffic["floods"]
+            if f["attacker_isp"] < last and f["target_isp"] < last
+        ]
+        out["crashes"] = [
+            c for c in doc["crashes"]
+            if c["node"] == "bank" or int(c["node"][3:]) < last
+        ]
+        yield out
+    if topo["users_per_isp"] > 2:
+        out = copy.deepcopy(doc)
+        smaller = topo["users_per_isp"] - 1
+        out["topology"]["users_per_isp"] = smaller
+        out["traffic"]["spammers"] = [
+            s for s in traffic["spammers"] if s["user"] < smaller
+        ]
+        out["traffic"]["zombies"] = [
+            z for z in traffic["zombies"] if z["user"] < smaller
+        ]
+        yield out
+
+
+def shrink(
+    doc: dict[str, Any],
+    failing: Callable[[dict[str, Any]], bool],
+    *,
+    max_steps: int = 200,
+) -> dict[str, Any]:
+    """The smallest reachable document for which ``failing`` stays true.
+
+    ``doc`` itself must fail. Greedy first-improvement descent over
+    :func:`shrink_candidates`, capped at ``max_steps`` predicate calls
+    per pass round (runaway protection; the cap returns the best world
+    found so far rather than raising).
+    """
+    current = validate(doc)
+    if not failing(current):
+        raise SimulationError(
+            "shrink() needs a failing document to start from"
+        )
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in shrink_candidates(current):
+            try:
+                candidate = validate(candidate)
+            except SimulationError:
+                continue
+            if candidate == current:
+                # A simplification that normalizes back to the current
+                # document is no progress; adopting it would loop.
+                continue
+            steps += 1
+            if failing(candidate):
+                current = candidate
+                progress = True
+                break
+            if steps >= max_steps:
+                break
+    return current

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
+from ..errors import SimulationError
 from .clock import DAY
 from .rng import HAVE_NUMPY, SeededStreams
 
@@ -43,6 +44,8 @@ __all__ = [
     "NormalUserWorkload",
     "SpamCampaignWorkload",
     "ZombieBurstWorkload",
+    "FloodSpec",
+    "FloodWorkload",
     "merge_workloads",
 ]
 
@@ -417,6 +420,161 @@ class ZombieBurstWorkload:
                     when,
                     zombie,
                     Address(recipient // users_per_isp, recipient % users_per_isp),
+                    kind,
+                )
+
+
+@dataclass(frozen=True)
+class FloodSpec:
+    """A burst/flood load-injection fault: overload as a first-class fault.
+
+    A set of ``attackers`` user machines at ``attacker_isp`` blast
+    Poisson traffic at ``rate_per_sec`` (aggregate) toward random users
+    of ``target_isp`` over ``[start, start + duration)``. The attack
+    traffic is ordinary :class:`SendRequest` workload — overload is an
+    *admission-layer* fault, so it is injected where mail enters the
+    system, not on the wire. Defined here (not in :mod:`repro.chaos`)
+    because floods are plain traffic: the chaos harness injects them via
+    :func:`repro.chaos.faults.flood_requests` and the scenario compiler
+    runs them on every executor via :class:`FloodWorkload`.
+
+    Attributes:
+        attacker_isp: ISP hosting the flooding machines (the ISP whose
+            admission controller absorbs the burst).
+        target_isp: ISP whose users receive the flood.
+        rate_per_sec: Aggregate offered load of the flood.
+        start: Virtual time the burst begins.
+        duration: Burst length in seconds.
+        attackers: Number of distinct compromised sender machines.
+        kind: Traffic classification of the flood (``"zombie"`` by
+            default — sheds first under the priority policy).
+    """
+
+    attacker_isp: int = 0
+    target_isp: int = 1
+    rate_per_sec: float = 100.0
+    start: float = 0.0
+    duration: float = 60.0
+    attackers: int = 4
+    kind: str = "zombie"
+
+    def __post_init__(self) -> None:
+        if self.rate_per_sec <= 0:
+            raise SimulationError("flood rate_per_sec must be positive")
+        if self.duration <= 0:
+            raise SimulationError("flood duration must be positive")
+        if self.start < 0:
+            raise SimulationError("flood start must be non-negative")
+        if self.attackers < 1:
+            raise SimulationError("flood needs at least one attacker")
+        if self.kind not in TrafficKind._value2member_map_:
+            raise SimulationError(f"unknown flood traffic kind {self.kind!r}")
+
+
+class FloodWorkload:
+    """A :class:`FloodSpec` as executor-neutral traffic.
+
+    The scenario compiler's lowering of a flood: the same burst the chaos
+    harness injects with :func:`repro.chaos.faults.flood_requests`, but
+    following the workload-class contract above — ``generate()`` for the
+    object executors and ``generate_columns()`` for the columnar batch
+    executor, drawing from identical RNG streams so every executor sees
+    identical traffic. (The chaos path keeps its own pure-python draw
+    discipline for backward-compatible campaign reports; the two paths
+    are deterministic per seed but not draw-compatible with each other.)
+    """
+
+    def __init__(
+        self,
+        *,
+        spec: FloodSpec,
+        n_isps: int,
+        users_per_isp: int,
+        streams: SeededStreams,
+        name: str = "flood",
+    ) -> None:
+        if not 0 <= spec.attacker_isp < n_isps or not 0 <= spec.target_isp < n_isps:
+            raise SimulationError(
+                f"flood ISPs out of range: {spec.attacker_isp} -> "
+                f"{spec.target_isp}"
+            )
+        self.spec = spec
+        self.users_per_isp = users_per_isp
+        self._streams = streams
+        self.name = name
+        self._attackers = [
+            Address(spec.attacker_isp, user % users_per_isp)
+            for user in range(spec.attackers)
+        ]
+
+    def generate(self) -> Iterator[SendRequest]:
+        """Yield the flood's requests in time order."""
+        if HAVE_NUMPY:
+            return self._generate_numpy()
+        return self._generate_python()
+
+    def _generate_python(self) -> Iterator[SendRequest]:
+        spec = self.spec
+        arrivals = self._streams.get(f"{self.name}:arrivals")
+        pick = self._streams.get(f"{self.name}:targets")
+        kind = TrafficKind(spec.kind)
+        attackers = self._attackers
+        end = spec.start + spec.duration
+        t = spec.start
+        while True:
+            t += arrivals.expovariate(spec.rate_per_sec)
+            if t >= end:
+                return
+            sender = attackers[pick.randrange(len(attackers))]
+            recipient = Address(
+                spec.target_isp, pick.randrange(self.users_per_isp)
+            )
+            yield SendRequest(t, sender, recipient, kind)
+
+    def generate_columns(self):
+        """Yield ``(times, senders, recipients)`` chunks for the flood."""
+        import numpy as np
+
+        spec = self.spec
+        rng = self._streams.get_numpy(f"{self.name}:arrivals")
+        users_per_isp = self.users_per_isp
+        attacker_gids = np.array(
+            [a.isp * users_per_isp + a.user for a in self._attackers],
+            dtype=np.int64,
+        )
+        target_base = spec.target_isp * users_per_isp
+        end = spec.start + spec.duration
+        t = spec.start
+        while True:
+            gaps = rng.exponential(1.0 / spec.rate_per_sec, size=_CHUNK)
+            times = gaps.cumsum()
+            times += t
+            t = float(times[-1])
+            which = rng.integers(0, len(attacker_gids), size=_CHUNK)
+            targets = rng.integers(0, users_per_isp, size=_CHUNK)
+            limit = int(np.searchsorted(times, end, side="left"))
+            if limit:
+                yield (
+                    times[:limit],
+                    attacker_gids[which[:limit]],
+                    target_base + targets[:limit],
+                )
+            if limit < _CHUNK:
+                return
+
+    def _generate_numpy(self) -> Iterator[SendRequest]:
+        users_per_isp = self.users_per_isp
+        kind = TrafficKind(self.spec.kind)
+        for times, senders, recipients in self.generate_columns():
+            for when, sender, recipient in zip(
+                times.tolist(), senders.tolist(), recipients.tolist()
+            ):
+                yield SendRequest(
+                    when,
+                    Address(sender // users_per_isp, sender % users_per_isp),
+                    Address(
+                        recipient // users_per_isp, recipient % users_per_isp
+                    ),
                     kind,
                 )
 

@@ -50,6 +50,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# `tools/ci.sh fuzz` runs the nightly differential fuzzing campaign
+# instead of the regular gate: CI_FUZZ_COUNT generated worlds (default
+# 200) through every executor, byte-comparing invariant manifests. The
+# seed defaults to the UTC date so each night explores fresh worlds yet
+# stays replayable (`repro fuzz --replay SEED:INDEX`); failing worlds
+# (original + shrunk) land in CI_FUZZ_OUT for artifact upload.
+if [ "${1:-}" = "fuzz" ]; then
+    FUZZ_COUNT="${CI_FUZZ_COUNT:-200}"
+    FUZZ_SEED="${CI_FUZZ_SEED:-$(date -u +%Y%m%d)}"
+    FUZZ_OUT="${CI_FUZZ_OUT:-/tmp/fuzz-artifacts}"
+    echo "== nightly fuzz campaign (${FUZZ_COUNT} worlds, seed ${FUZZ_SEED}) =="
+    PYTHONPATH=src python -m repro fuzz \
+        --count "${FUZZ_COUNT}" --seed "${FUZZ_SEED}" --out "${FUZZ_OUT}"
+    echo "== fuzz campaign passed =="
+    exit 0
+fi
+
 MESSAGES="${CI_BENCH_MESSAGES:-50000}"
 TOLERANCE="${CI_BENCH_TOLERANCE:-0.45}"
 
@@ -58,7 +75,7 @@ PYTHONPATH=src python -m pytest -x -q
 
 if [ "${CI_COVERAGE:-1}" != "0" ]; then
     COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
-    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/store/reconcile at 90%) =="
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/store/scenario/reconcile at 90%) =="
     PYTHONPATH=src python tools/coverage_gate.py \
         --target src/repro \
         --floor "${COVERAGE_FLOOR}" \
@@ -66,6 +83,7 @@ if [ "${CI_COVERAGE:-1}" != "0" ]; then
         --require cluster=90 \
         --require columnar=90 \
         --require store=90 \
+        --require scenario=90 \
         --require core/reconcile.py=90 \
         -- -q -p no:cacheprovider
 else
@@ -158,6 +176,14 @@ PYTHONPATH=src python -m repro overload --seed "${OVERLOAD_SEED}" \
 cmp /tmp/overload_report_1.json /tmp/overload_report_2.json \
     || { echo "overload campaign is not reproducible"; exit 1; }
 echo "overload campaign reproducible"
+
+FUZZ_SMOKE_SEED="${CI_FUZZ_SMOKE_SEED:-7}"
+echo "== scenario fuzz smoke (5 worlds, seed ${FUZZ_SMOKE_SEED}) =="
+# Fixed-seed differential smoke: five generated worlds through the
+# direct/columnar/cluster executor matrix must byte-agree on their
+# invariant manifests. The full 200-world campaign runs nightly via
+# `tools/ci.sh fuzz`.
+PYTHONPATH=src python -m repro fuzz --count 5 --seed "${FUZZ_SMOKE_SEED}"
 
 CLUSTER_SEED="${CI_CLUSTER_SEED:-9}"
 echo "== cluster determinism smoke (seed ${CLUSTER_SEED}, 1 vs 4 shards) =="
