@@ -1,0 +1,90 @@
+"""Strategy arena: adaptive attackers vs. defender policies, live.
+
+The arena pits *strategies* — stateful per-period decision loops —
+against each other inside real :class:`~repro.core.protocol.ZmailNetwork`
+deployments. Attackers (response-rate learners, zombie-fleet renters,
+e-penny washers, burst-idle evaders) act through a narrow observe/act
+interface; defenders (price/limit tuners, POW exchanges, priced
+priority classes) retune the network between periods. Small matchups
+run on the direct reference path; sweeps lower pilot-match schedules
+onto the plain scenario DSL and ride the columnar/cluster executors
+and the cross-executor differential oracle.
+
+Modules: :mod:`.interface` (views, actions, registries),
+:mod:`.attackers` / :mod:`.defenders` (the built-in strategies),
+:mod:`.match` (the period engine), :mod:`.worlds` (seeded world
+generation), :mod:`.lower` (schedule → DSL lowering), and
+:mod:`.tournament` (matchup-matrix reports with phase extraction).
+"""
+
+from __future__ import annotations
+
+from .interface import (
+    ATTACKERS,
+    DEFENDERS,
+    AttackAction,
+    Attacker,
+    AttackerView,
+    AttackOutcome,
+    Defender,
+    DefenderAction,
+    DefenderView,
+    DefenseSignals,
+    Knobs,
+    Market,
+    Salvo,
+    make_attacker,
+    make_defender,
+    register_attacker,
+    register_defender,
+)
+
+# Importing the strategy modules populates the registries.
+from . import attackers as attackers  # noqa: F401
+from . import defenders as defenders  # noqa: F401
+
+from .match import MatchResult, PeriodRecord, run_match
+from .worlds import generate_arena_doc
+from .lower import lower_doc, lower_plan
+from .tournament import (
+    REPORT_FORMAT_VERSION,
+    cell_doc,
+    cell_seed,
+    report_digest,
+    report_json,
+    run_cell,
+    run_tournament,
+)
+
+__all__ = [
+    "ATTACKERS",
+    "DEFENDERS",
+    "AttackAction",
+    "Attacker",
+    "AttackerView",
+    "AttackOutcome",
+    "Defender",
+    "DefenderAction",
+    "DefenderView",
+    "DefenseSignals",
+    "Knobs",
+    "Market",
+    "MatchResult",
+    "PeriodRecord",
+    "REPORT_FORMAT_VERSION",
+    "Salvo",
+    "cell_doc",
+    "cell_seed",
+    "generate_arena_doc",
+    "lower_doc",
+    "lower_plan",
+    "make_attacker",
+    "make_defender",
+    "register_attacker",
+    "register_defender",
+    "report_digest",
+    "report_json",
+    "run_cell",
+    "run_match",
+    "run_tournament",
+]

@@ -1,0 +1,253 @@
+"""Attacker strategies: how a spam operator fights a Zmail market.
+
+Five operators, each attacking a different seam of the protocol:
+
+* ``static`` — the null adversary: a fixed-volume blast, pennies bought
+  at market price. The paper's §1.2 calculus, live.
+* ``response_rate`` — the :class:`~repro.economics.adaptive
+  .VolumeLearner` feedback loop, plus rational route arbitrage: each
+  period it prices the paid ledger route against any POW or bulk route
+  the defender offers and takes the cheapest cost-per-expected-response.
+* ``zombie_fleet`` — rents compromised machines and drives each at the
+  full §4.1 daily limit, spending the *owners'* pennies. Greedy: every
+  machine trips the limit warning and is detected and disinfected, so
+  the fleet churns through the rentable pool.
+* ``burst_idle`` — the evasion variant: sends ``daily_limit − headroom``
+  per machine on burst periods and idles between, starving the
+  limit-warning signal the zombie monitor keys on. Slower, stealthier,
+  still rent-bound.
+* ``epenny_wash`` — harvests the e-penny endowments of compromised
+  accounts at a colluding ISP by washing their balances (paid sends) to
+  the operator's hub, then spams on harvested pennies instead of bought
+  ones. Zero-sum bites anyway: every account was bought at the
+  market's compromised-account price.
+
+All state a strategy carries is derived from its seeded RNG and the
+views it has been shown — nothing reaches into the deployment.
+"""
+
+from __future__ import annotations
+
+from ..economics.adaptive import VolumeLearner
+from ..sim.workload import Address
+from .interface import (
+    ROUTE_BULK,
+    ROUTE_PAID,
+    ROUTE_POW,
+    AttackAction,
+    Attacker,
+    AttackerView,
+    Salvo,
+    register_attacker,
+)
+
+__all__ = [
+    "StaticBlaster",
+    "ResponseRateLearner",
+    "ZombieFleet",
+    "BurstIdle",
+    "EpennyWash",
+]
+
+
+def _shortfall(view: AttackerView, sender: Address, volume: int) -> int:
+    """E-pennies the sender must buy to pay for ``volume`` sends."""
+    return max(0, volume - view.balance(sender))
+
+
+@register_attacker
+class StaticBlaster(Attacker):
+    """Fixed volume, paid route, pennies bought at market price."""
+
+    name = "static"
+
+    def __init__(self, params, rng):
+        super().__init__(params, rng)
+        self.hub = Address(*params["hub"])
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        volume = self.params["volume"]
+        buys = _shortfall(view, self.hub, volume)
+        return AttackAction(
+            salvos=(Salvo(sender=self.hub, volume=volume),),
+            buy_epennies=((self.hub, buys),) if buys else (),
+        )
+
+
+def best_route(view: AttackerView) -> tuple[str, float]:
+    """The cheapest offered route per *expected response*, with its cost.
+
+    A rational operator compares dollars per expected conversion:
+    the paid route costs ``infra + price·epenny`` per message at
+    conversion rate ``c``; a POW route costs CPU-seconds per message at
+    the same ``c``; a bulk class costs its posted price but converts at
+    ``c · bulk_factor`` (bulk-folder placement). Ties break toward the
+    paid route (stable, deterministic).
+    """
+    market, knobs = view.market, view.knobs
+    rate = max(view.market.conversion_rate, 1e-12)
+    infra = market.infra_cost_per_message
+    paid = (infra + market.epenny_dollars * knobs.price_multiplier) / rate
+    candidates = [(paid, 0, ROUTE_PAID)]
+    if knobs.pow_seconds is not None:
+        pow_cost = (infra + knobs.pow_seconds * market.cpu_second_dollars)
+        candidates.append((pow_cost / rate, 1, ROUTE_POW))
+    if knobs.bulk_price_dollars is not None and knobs.bulk_cap > 0:
+        bulk_rate = rate * max(market.bulk_conversion_factor, 1e-12)
+        candidates.append(
+            ((infra + knobs.bulk_price_dollars) / bulk_rate, 2, ROUTE_BULK)
+        )
+    cost, _, route = min(candidates)
+    return route, cost
+
+
+@register_attacker
+class ResponseRateLearner(Attacker):
+    """Multiplicative profit feedback + rational route arbitrage."""
+
+    name = "response_rate"
+
+    def __init__(self, params, rng):
+        super().__init__(params, rng)
+        self.hub = Address(*params["hub"])
+        self.learner = VolumeLearner(
+            volume=params["volume"],
+            growth=params["growth"],
+            decay=params["decay"],
+            max_volume=params["max_volume"],
+        )
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        if view.last is not None:
+            self.learner.update(view.last.profit)
+        volume = self.learner.volume
+        route, _ = best_route(view)
+        if route == ROUTE_BULK:
+            volume = min(volume, view.knobs.bulk_cap)
+        if volume <= 0:
+            return AttackAction()
+        salvo = Salvo(sender=self.hub, volume=volume, route=route)
+        buys = (
+            _shortfall(view, self.hub, volume) if route == ROUTE_PAID else 0
+        )
+        return AttackAction(
+            salvos=(salvo,),
+            buy_epennies=((self.hub, buys),) if buys else (),
+        )
+
+
+class _FleetAttacker(Attacker):
+    """Shared rental bookkeeping for the zombie strategies."""
+
+    def __init__(self, params, rng):
+        super().__init__(params, rng)
+        self.fleet_target = params["fleet"]
+
+    def refill(self, view: AttackerView) -> int:
+        """Machines to rent to bring the fleet back to target."""
+        want = self.fleet_target - len(view.fleet)
+        return max(0, min(want, view.pool_remaining))
+
+
+@register_attacker
+class ZombieFleet(_FleetAttacker):
+    """Greedy fleet: every machine pushed to the §4.1 limit, every day."""
+
+    name = "zombie_fleet"
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        per_machine = self.params["per_machine"] or view.knobs.daily_limit
+        salvos = tuple(
+            Salvo(sender=machine, volume=per_machine, kind="zombie")
+            for machine in view.fleet
+        )
+        return AttackAction(salvos=salvos, rent=self.refill(view))
+
+
+@register_attacker
+class BurstIdle(_FleetAttacker):
+    """Evasive fleet: bursts below the detection threshold, then idles."""
+
+    name = "burst_idle"
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        rent = self.refill(view)
+        if view.period % self.params["burst_every"] != 0:
+            return AttackAction(rent=rent)
+        volume = max(0, view.knobs.daily_limit - self.params["headroom"])
+        if volume == 0:
+            return AttackAction(rent=rent)
+        salvos = tuple(
+            Salvo(sender=machine, volume=volume, kind="zombie")
+            for machine in view.fleet
+        )
+        return AttackAction(salvos=salvos, rent=rent)
+
+
+@register_attacker
+class EpennyWash(Attacker):
+    """Harvests colluding-ISP endowments, washes them to the hub, spams."""
+
+    name = "epenny_wash"
+
+    def __init__(self, params, rng):
+        super().__init__(params, rng)
+        self.hub = Address(*params["hub"])
+        self.learner = VolumeLearner(
+            volume=params["volume"],
+            growth=params["growth"],
+            decay=params["decay"],
+            max_volume=params["max_volume"],
+        )
+        self.enlisted: list[Address] = []
+        #: Washed pennies banked at the hub and not yet spent. The hub
+        #: purse also holds the world's endowment, but spending that
+        #: would be charged at market price (see the match engine's
+        #: spend accounting) — the washer only spams harvested credit.
+        self.credit = 0
+
+    def colluding_isp(self, view: AttackerView) -> int:
+        isp = self.params["colluding_isp"]
+        return view.n_isps - 1 if isp == -1 else isp
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        if view.last is not None:
+            self.learner.update(view.last.profit)
+        volume = self.learner.volume
+        headroom = self.params["headroom"]
+        per_account = max(0, view.knobs.daily_limit - headroom)
+        # Enlist lazily: only as many accounts as the harvest requires.
+        enlist: list[Address] = []
+        if per_account > 0:
+            isp = self.colluding_isp(view)
+            have = sum(
+                min(view.balance(a), per_account) for a in self.enlisted
+            )
+            candidates = (
+                Address(isp, user)
+                for user in range(view.users_per_isp)
+            )
+            for account in candidates:
+                if have >= volume:
+                    break
+                if account in self.enlisted or account == self.hub:
+                    continue
+                enlist.append(account)
+                have += min(view.balance(account), per_account)
+            self.enlisted.extend(enlist)
+        wash = tuple(
+            Salvo(
+                sender=account,
+                volume=min(view.balance(account), per_account),
+                target=self.hub,
+            )
+            for account in self.enlisted
+            if per_account > 0 and min(view.balance(account), per_account) > 0
+        )
+        self.credit += sum(s.volume for s in wash)
+        blast = min(volume, self.credit)
+        self.credit -= blast
+        salvos = wash
+        if blast > 0:
+            salvos = wash + (Salvo(sender=self.hub, volume=blast),)
+        return AttackAction(salvos=salvos, enlist=tuple(enlist))

@@ -1,0 +1,115 @@
+"""Defender policies: how the market side answers adaptive spam.
+
+* ``zmail_static`` — the paper's protocol exactly as configured: the
+  per-message e-penny and the §4.1 daily limit, no reactive tuning. The
+  baseline every phase diagram is drawn against.
+* ``price_tuner`` — adjusts the two levers Zmail actually has: while
+  observed inbox spam share exceeds target it multiplies the e-penny
+  price and halves ordinary users' daily limits (down to ``min_limit``);
+  when clean it relaxes both toward defaults. The limit lever is the
+  goodput tension: tight limits block legitimate mail too.
+* ``pow_exchange`` — Gardner-Stephen's proof-of-work exchange as a
+  hybrid route: mail may enter by burning CPU-seconds instead of an
+  e-penny, with difficulty doubling while spam persists and decaying
+  toward base when it doesn't.
+* ``priority_classes`` — GridEmail-style priced classes (Soysa/Buyya):
+  a capped bulk class at a posted dollar price, delivered to the bulk
+  folder (responses discounted by the market's bulk factor); the cap
+  halves while the class is saturated and spammy.
+
+Defenders observe only ISP-side signals (:class:`~repro.arena.interface
+.DefenseSignals`): user spam reports, delivery counters and §4.1
+warning-log detections — never the attacker's internals.
+"""
+
+from __future__ import annotations
+
+from .interface import (
+    Defender,
+    DefenderAction,
+    DefenderView,
+    register_defender,
+)
+
+__all__ = ["ZmailStatic", "PriceTuner", "PowExchange", "PriorityClasses"]
+
+
+@register_defender
+class ZmailStatic(Defender):
+    """The protocol as configured; no reaction at all."""
+
+    name = "zmail_static"
+
+    def act(self, view: DefenderView) -> DefenderAction:
+        return DefenderAction()
+
+
+@register_defender
+class PriceTuner(Defender):
+    """Escalates e-penny price and tightens limits while spam persists."""
+
+    name = "price_tuner"
+
+    def act(self, view: DefenderView) -> DefenderAction:
+        last, knobs = view.last, view.knobs
+        if last is None:
+            return DefenderAction()
+        step = self.params["price_step"]
+        if last.spam_share > self.params["target_spam_share"]:
+            multiplier = min(
+                self.params["max_price_multiplier"],
+                knobs.price_multiplier * step,
+            )
+            limit = max(
+                self.params["min_limit"],
+                knobs.daily_limit // self.params["limit_step"],
+            )
+        else:
+            multiplier = max(1.0, knobs.price_multiplier / step)
+            limit = min(
+                view.default_daily_limit,
+                knobs.daily_limit * self.params["limit_step"],
+            )
+        return DefenderAction(
+            daily_limit=limit, price_multiplier=multiplier
+        )
+
+
+@register_defender
+class PowExchange(Defender):
+    """Offers a CPU-priced route; difficulty doubles while spam persists."""
+
+    name = "pow_exchange"
+
+    def act(self, view: DefenderView) -> DefenderAction:
+        base = self.params["base_seconds"]
+        current = view.knobs.pow_seconds
+        if current is None:
+            return DefenderAction(pow_seconds=base)
+        last = view.last
+        if last is not None and (
+            last.spam_share > self.params["target_spam_share"]
+        ):
+            return DefenderAction(
+                pow_seconds=min(self.params["max_seconds"], current * 2.0)
+            )
+        return DefenderAction(pow_seconds=max(base, current / 2.0))
+
+
+@register_defender
+class PriorityClasses(Defender):
+    """Posted-price bulk class with a cap that shrinks under abuse."""
+
+    name = "priority_classes"
+
+    def act(self, view: DefenderView) -> DefenderAction:
+        price = self.params["bulk_price_dollars"]
+        cap = (
+            self.params["bulk_cap"]
+            if view.knobs.bulk_price_dollars is None
+            else view.knobs.bulk_cap
+        )
+        last = view.last
+        if last is not None and last.bulk_folder >= cap > 0:
+            cap = max(self.params["min_cap"], cap // 2)
+        return DefenderAction(bulk_price_dollars=price, bulk_cap=cap)

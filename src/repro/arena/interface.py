@@ -1,0 +1,273 @@
+"""The arena's narrow observe/act surface.
+
+A strategy never touches the deployment. Each period the match engine
+(:mod:`repro.arena.match`) hands it a frozen view of what a real actor
+could observe — the published knobs, the market it operates in, its own
+last outcome — and the strategy returns a declarative action the engine
+executes against the live :class:`~repro.core.protocol.ZmailNetwork`.
+Everything a strategy can *do* is expressible as data (salvos, e-penny
+purchases, machine rentals, account enlistments, knob settings), which
+is what makes tournament cells deterministic and lowerable onto the
+batch executors.
+
+The strategy *vocabulary* — which names exist and which parameters they
+take — is owned by the scenario schema
+(:data:`repro.scenario.schema.ATTACKER_STRATEGIES` /
+:data:`~repro.scenario.schema.DEFENDER_STRATEGIES`); this module's
+registries implement exactly those names (parity is tested), so any
+document naming a strategy is runnable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar
+
+from ..errors import SimulationError
+from ..sim.workload import Address
+
+__all__ = [
+    "ROUTE_PAID",
+    "ROUTE_POW",
+    "ROUTE_BULK",
+    "Market",
+    "Knobs",
+    "Salvo",
+    "AttackAction",
+    "DefenderAction",
+    "AttackOutcome",
+    "DefenseSignals",
+    "AttackerView",
+    "DefenderView",
+    "Attacker",
+    "Defender",
+    "ATTACKERS",
+    "DEFENDERS",
+    "make_attacker",
+    "make_defender",
+]
+
+#: Delivery routes a salvo can take. ``paid`` is the Zmail ledger path
+#: (1 e-penny per message, §3); ``pow`` and ``bulk`` are *economic
+#: overlays* offered by hybrid defenders — they move dollars, not
+#: ledger value, so they never appear in the invariant manifest.
+ROUTE_PAID = "paid"
+ROUTE_POW = "pow"
+ROUTE_BULK = "bulk"
+ROUTES = (ROUTE_PAID, ROUTE_POW, ROUTE_BULK)
+
+
+@dataclass(frozen=True)
+class Market:
+    """The dollar economy around the ledger — public, static per world."""
+
+    conversion_rate: float
+    revenue_per_response: float
+    infra_cost_per_message: float
+    epenny_dollars: float
+    cpu_second_dollars: float
+    bulk_conversion_factor: float
+    rent_per_machine_day: float
+    compromised_account_dollars: float
+
+    @classmethod
+    def from_doc(cls, market: dict) -> "Market":
+        return cls(**market)
+
+
+@dataclass(frozen=True)
+class Knobs:
+    """The defender's published knobs — visible to both sides.
+
+    ``pow_seconds`` / ``bulk_price_dollars`` are ``None`` while the
+    corresponding route is not offered.
+    """
+
+    daily_limit: int
+    price_multiplier: float = 1.0
+    pow_seconds: float | None = None
+    bulk_price_dollars: float | None = None
+    bulk_cap: int = 0
+
+
+@dataclass(frozen=True)
+class Salvo:
+    """One burst of sends from one controlled address.
+
+    ``target=None`` sprays deterministic-random victims; a concrete
+    target directs every message there (the wash pattern). ``kind`` is
+    the traffic class the ledger sees (``spam`` from the operator's own
+    hub, ``zombie`` from rented machines).
+    """
+
+    sender: Address
+    volume: int
+    route: str = ROUTE_PAID
+    kind: str = "spam"
+    target: Address | None = None
+
+
+@dataclass(frozen=True)
+class AttackAction:
+    """Everything an attacker does in one period, as data."""
+
+    salvos: tuple[Salvo, ...] = ()
+    #: (address, epennies) purchases, paid in dollars at the current
+    #: price multiplier, credited before the salvos fire.
+    buy_epennies: tuple[tuple[Address, int], ...] = ()
+    #: Additional compromised machines to rent this period.
+    rent: int = 0
+    #: Accounts to take control of (colluding-ISP harvest), each paid
+    #: for once at the market's compromised-account price.
+    enlist: tuple[Address, ...] = ()
+
+
+@dataclass(frozen=True)
+class DefenderAction:
+    """Knob settings for the coming period; ``None`` leaves a knob be."""
+
+    daily_limit: int | None = None
+    price_multiplier: float | None = None
+    pow_seconds: float | None = None
+    bulk_price_dollars: float | None = None
+    bulk_cap: int | None = None
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """What the attacker's last period actually did."""
+
+    attempted: int
+    delivered_paid: int
+    delivered_pow: int
+    delivered_bulk: int
+    delivered_wash: int
+    blocked: int
+    conversions: int
+    revenue: float
+    cost: float
+    #: Fleet machines lost to §4.1/§5 detection last period.
+    detected: tuple[Address, ...] = ()
+
+    @property
+    def profit(self) -> float:
+        return self.revenue - self.cost
+
+    @property
+    def delivered_victims(self) -> int:
+        """Messages that reached someone other than the operator."""
+        return self.delivered_paid + self.delivered_pow + self.delivered_bulk
+
+
+@dataclass(frozen=True)
+class DefenseSignals:
+    """What an ISP-side policy observed last period (user spam reports,
+    delivery counters, §4.1 warning-log detections)."""
+
+    spam_inbox: int
+    bulk_folder: int
+    legit_attempted: int
+    legit_delivered: int
+    detections: int
+
+    @property
+    def goodput(self) -> float:
+        if self.legit_attempted == 0:
+            return 1.0
+        return self.legit_delivered / self.legit_attempted
+
+    @property
+    def spam_share(self) -> float:
+        total = self.spam_inbox + self.legit_delivered
+        if total == 0:
+            return 0.0
+        return self.spam_inbox / total
+
+
+@dataclass(frozen=True)
+class AttackerView:
+    """The attacker's observation at the start of a period."""
+
+    period: int
+    market: Market
+    knobs: Knobs
+    n_isps: int
+    users_per_isp: int
+    fleet: tuple[Address, ...]
+    pool_remaining: int
+    last: AttackOutcome | None
+    #: Balance oracle for attacker-controlled addresses (an operator
+    #: can read its own purses; everything else would be cheating).
+    balance: Callable[[Address], int] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class DefenderView:
+    """The defender's observation at the start of a period."""
+
+    period: int
+    market: Market
+    knobs: Knobs
+    default_daily_limit: int
+    last: DefenseSignals | None
+
+
+class Attacker:
+    """Base class: a seeded, stateful attacker strategy."""
+
+    name: ClassVar[str] = ""
+
+    def __init__(self, params: dict, rng: random.Random) -> None:
+        self.params = dict(params)
+        self.rng = rng
+
+    def plan(self, view: AttackerView) -> AttackAction:
+        raise NotImplementedError
+
+
+class Defender:
+    """Base class: a seeded, stateful defender policy."""
+
+    name: ClassVar[str] = ""
+
+    def __init__(self, params: dict, rng: random.Random) -> None:
+        self.params = dict(params)
+        self.rng = rng
+
+    def act(self, view: DefenderView) -> DefenderAction:
+        raise NotImplementedError
+
+
+ATTACKERS: dict[str, type[Attacker]] = {}
+DEFENDERS: dict[str, type[Defender]] = {}
+
+
+def register_attacker(cls: type[Attacker]) -> type[Attacker]:
+    ATTACKERS[cls.name] = cls
+    return cls
+
+
+def register_defender(cls: type[Defender]) -> type[Defender]:
+    DEFENDERS[cls.name] = cls
+    return cls
+
+
+def make_attacker(name: str, params: dict, rng: random.Random) -> Attacker:
+    """Instantiate a registered attacker strategy, loudly."""
+    if name not in ATTACKERS:
+        raise SimulationError(
+            f"unknown attacker strategy {name!r}; "
+            f"known strategies are {sorted(ATTACKERS)}"
+        )
+    return ATTACKERS[name](params, rng)
+
+
+def make_defender(name: str, params: dict, rng: random.Random) -> Defender:
+    """Instantiate a registered defender policy, loudly."""
+    if name not in DEFENDERS:
+        raise SimulationError(
+            f"unknown defender policy {name!r}; "
+            f"known policies are {sorted(DEFENDERS)}"
+        )
+    return DEFENDERS[name](params, rng)

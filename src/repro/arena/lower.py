@@ -1,0 +1,82 @@
+"""Lowering strategy worlds onto the batch executors.
+
+Strategies are stateful feedback loops, so they cannot run *inside* the
+columnar or cluster executors directly — but they don't need to. A match
+is a pure function of ``(document, seed)``, so a **pilot match** on the
+direct reference path resolves the strategy pair into its concrete
+per-period send schedule, and that schedule lowers to the scenario DSL's
+plain traffic terms:
+
+* each victim-directed hub salvo becomes a one-day ``spammers`` entry
+  (war-chested, so the purse never binds mid-epoch and the world stays
+  inside the cluster comparison boundary);
+* each fleet machine-day becomes a one-day ``zombies`` entry at the
+  equivalent hourly rate.
+
+The lowered document is an ordinary schema-v2 world (``strategies:
+null``) that every executor runs through the unchanged plan machinery —
+so arena traffic rides the same cross-executor differential oracle
+(`repro fuzz` / :func:`repro.scenario.fuzz.check_world`) as everything
+else. Two fidelity caveats, by design: wash transfers are *targeted*
+sends the spray-pattern DSL cannot express (they move value between
+attacker-controlled purses, not into victims' inboxes), and POW/bulk
+overlay routes move dollars rather than ledger value; neither appears
+in the lowered traffic, which reproduces the attack's *ledger
+footprint*, not its dollar accounting.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from ..sim.clock import DAY
+from .match import MatchResult, run_match
+
+__all__ = ["lower_doc", "lower_plan"]
+
+
+def lower_doc(
+    doc: dict[str, Any], result: MatchResult | None = None
+) -> dict[str, Any]:
+    """The plain-traffic document equivalent to ``doc``'s pilot match.
+
+    ``result`` may pass in an already-run match (same doc, document
+    seed); otherwise the pilot runs here.
+    """
+    from ..scenario.schema import validate
+
+    if result is None:
+        result = run_match(doc)
+    lowered = copy.deepcopy(doc)
+    lowered["strategies"] = None
+    lowered["name"] = f"{doc['name']}+lowered"
+    spammers = lowered["traffic"]["spammers"]
+    zombies = lowered["traffic"]["zombies"]
+    for period, kind, isp, user, volume in result.schedule:
+        if kind == "spam":
+            spammers.append({
+                "isp": isp,
+                "user": user,
+                "volume": volume,
+                "war_chest": volume,
+                "start": period * DAY,
+                "duration": DAY,
+            })
+        else:
+            zombies.append({
+                "isp": isp,
+                "user": user,
+                "rate_per_hour": volume / 24.0,
+                "start": period * DAY,
+                "end": (period + 1) * DAY,
+            })
+    return validate(lowered)
+
+
+def lower_plan(plan):
+    """Compiler hook: the lowered :class:`~repro.scenario.compiler
+    .ScenarioPlan` for a strategies-plan (pilot match runs here)."""
+    from ..scenario.compiler import compile_scenario
+
+    return compile_scenario(lower_doc(plan.doc))

@@ -1,0 +1,311 @@
+"""The matchup matrix: strategy × strategy × world tournaments.
+
+:func:`run_tournament` sweeps every attacker/defender pair over a set of
+generated worlds and distils the grid into a byte-reproducible report:
+per-cell economics and invariant outcomes, per-defender profit/goodput
+frontiers, and the phase extraction the paper's economic claim turns
+into — the **collapse region**, the band of spam markets (expected
+dollars per delivered message) in which *no* strategy makes money
+against a defender.
+
+Determinism contract: every cell's seed derives from
+``(tournament seed, attacker, defender, world index)`` — never from
+iteration order — so permuting the matchup order cannot change any
+cell's outcome (property-tested), and the canonical report
+(:func:`report_json`) contains no wall-clock timestamps, so the same
+seed produces ``cmp``-identical bytes (the CI smoke).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from ..errors import SimulationError
+from ..sim.rng import derive_seed
+from .interface import ATTACKERS, DEFENDERS
+from .match import MatchResult, run_match
+from .worlds import generate_arena_doc
+
+__all__ = [
+    "REPORT_FORMAT_VERSION",
+    "cell_seed",
+    "cell_doc",
+    "run_cell",
+    "run_tournament",
+    "report_json",
+    "report_digest",
+]
+
+REPORT_FORMAT_VERSION = 1
+
+
+def cell_seed(seed: int, attacker: str, defender: str, world: int) -> int:
+    """Order-independent per-cell seed."""
+    return derive_seed(seed, f"arena-cell:{attacker}|{defender}|{world}")
+
+
+def cell_doc(
+    world: dict[str, Any], attacker: str, defender: str
+) -> dict[str, Any]:
+    """The world document with its strategy pair substituted."""
+    from ..scenario.schema import validate
+
+    import copy
+
+    doc = copy.deepcopy(world)
+    placeholder = doc["strategies"]["attacker"]
+    doc["strategies"]["attacker"] = {
+        "name": attacker,
+        "isp": placeholder["isp"],
+        "user": placeholder["user"],
+    }
+    doc["strategies"]["defender"] = {"name": defender}
+    return validate(doc)
+
+
+def run_cell(
+    world: dict[str, Any],
+    attacker: str,
+    defender: str,
+    *,
+    seed: int,
+    world_index: int,
+) -> MatchResult:
+    """One tournament cell, seeded independently of matchup order."""
+    return run_match(
+        cell_doc(world, attacker, defender),
+        seed=cell_seed(seed, attacker, defender, world_index),
+    )
+
+
+def _expected_value(world: dict[str, Any]) -> float:
+    market = world["strategies"]["market"]
+    return market["conversion_rate"] * market["revenue_per_response"]
+
+
+def _frontier(
+    cells: list[dict[str, Any]], worlds: list[dict[str, Any]],
+    attackers: Iterable[str], defenders: Iterable[str],
+) -> dict[str, list[dict[str, Any]]]:
+    """Per defender, per world: the best attacker and the goodput paid."""
+    by_key = {
+        (c["attacker"], c["defender"], c["world"]): c for c in cells
+    }
+    frontier: dict[str, list[dict[str, Any]]] = {}
+    for defender in defenders:
+        rows = []
+        for index, world in enumerate(worlds):
+            # Rank on *expected* profit: realized profit carries
+            # lucky-conversion variance at low volume, and the phase
+            # boundary is an expectation statement.
+            best = max(
+                (by_key[(a, defender, index)] for a in attackers),
+                key=lambda c: (c["expected_profit"], c["attacker"]),
+            )
+            market = world["strategies"]["market"]
+            rows.append({
+                "world": index,
+                "conversion_rate": market["conversion_rate"],
+                "revenue_per_response": market["revenue_per_response"],
+                "ev_per_message": _expected_value(world),
+                "best_attacker": best["attacker"],
+                "best_profit": best["expected_profit"],
+                "realized_profit": best["profit"],
+                "goodput": best["goodput"],
+                "spam_share": best["spam_share"],
+            })
+        frontier[defender] = rows
+    return frontier
+
+
+def _phase(frontier_rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """The collapse-region extraction for one defender's frontier.
+
+    Worlds are ordered by expected spam revenue per delivered message
+    (``conversion_rate × revenue_per_response``). The *collapse
+    boundary* is the highest expected value below which every world is
+    unprofitable for every attacker — the paper's "market forces will
+    control the volume of spam", measured.
+    """
+    rows = sorted(frontier_rows, key=lambda r: r["ev_per_message"])
+    profitable = [r for r in rows if r["best_profit"] > 0]
+    first_profitable = (
+        profitable[0]["ev_per_message"] if profitable else None
+    )
+    if first_profitable is None:
+        collapsed = rows
+    else:
+        collapsed = [
+            r for r in rows if r["ev_per_message"] < first_profitable
+        ]
+    boundary = collapsed[-1]["ev_per_message"] if collapsed else None
+    # Half-decade histogram over expected value: the phase diagram data.
+    bins: list[dict[str, Any]] = []
+    if rows:
+        import math
+
+        lo_exp = math.floor(
+            math.log10(rows[0]["ev_per_message"]) * 2
+        )
+        hi_exp = math.floor(
+            math.log10(rows[-1]["ev_per_message"]) * 2
+        )
+        for half_decade in range(lo_exp, hi_exp + 1):
+            lo = 10.0 ** (half_decade / 2.0)
+            hi = 10.0 ** ((half_decade + 1) / 2.0)
+            members = [
+                r for r in rows if lo <= r["ev_per_message"] < hi
+            ]
+            if not members:
+                continue
+            bins.append({
+                "ev_lo": lo,
+                "ev_hi": hi,
+                "worlds": len(members),
+                "profitable": sum(
+                    1 for r in members if r["best_profit"] > 0
+                ),
+                "mean_best_profit": sum(
+                    r["best_profit"] for r in members
+                ) / len(members),
+                "mean_goodput": sum(r["goodput"] for r in members)
+                / len(members),
+            })
+    return {
+        "worlds": len(rows),
+        "profitable_worlds": len(profitable),
+        "collapsed_worlds": len(collapsed),
+        "collapse_boundary_ev": boundary,
+        "first_profitable_ev": first_profitable,
+        "bins": bins,
+    }
+
+
+def run_tournament(
+    *,
+    seed: int,
+    attackers: Iterable[str] | None = None,
+    defenders: Iterable[str] | None = None,
+    worlds: int | list[dict[str, Any]] = 100,
+    periods: int = 8,
+    verify: int = 0,
+) -> dict[str, Any]:
+    """Sweep the matchup matrix; returns the canonical report dict.
+
+    ``worlds`` is a count (generated from the tournament seed) or an
+    explicit list of strategies-documents. ``verify`` lowers the first N
+    cells and runs them through the cross-executor differential oracle
+    (:func:`repro.scenario.fuzz.check_world`).
+    """
+    attackers = list(attackers) if attackers else sorted(ATTACKERS)
+    defenders = list(defenders) if defenders else sorted(DEFENDERS)
+    for name in attackers:
+        if name not in ATTACKERS:
+            raise SimulationError(
+                f"unknown attacker {name!r}; known: {sorted(ATTACKERS)}"
+            )
+    for name in defenders:
+        if name not in DEFENDERS:
+            raise SimulationError(
+                f"unknown defender {name!r}; known: {sorted(DEFENDERS)}"
+            )
+    if isinstance(worlds, int):
+        worlds = [
+            generate_arena_doc(
+                derive_seed(seed, f"arena-world:{i}"), periods=periods
+            )
+            for i in range(worlds)
+        ]
+    from ..scenario.schema import scenario_digest
+
+    cells: list[dict[str, Any]] = []
+    verify_failures: list[dict[str, Any]] = []
+    verified = 0
+    for attacker in attackers:
+        for defender in defenders:
+            for index, world in enumerate(worlds):
+                result = run_cell(
+                    world, attacker, defender, seed=seed, world_index=index
+                )
+                row = result.to_row()
+                row["world"] = index
+                cells.append(row)
+                if verified < verify:
+                    verified += 1
+                    failure = _verify_cell(
+                        world, attacker, defender, seed, index
+                    )
+                    if failure is not None:
+                        verify_failures.append({
+                            "attacker": attacker,
+                            "defender": defender,
+                            "world": index,
+                            "reason": failure,
+                        })
+    frontier = _frontier(cells, worlds, attackers, defenders)
+    baseline = (
+        "zmail_static" if "zmail_static" in frontier else defenders[0]
+    )
+    passed = (
+        all(c["conserved"] and c["consistent"] for c in cells)
+        and not verify_failures
+    )
+    return {
+        "format_version": REPORT_FORMAT_VERSION,
+        "seed": seed,
+        "attackers": attackers,
+        "defenders": defenders,
+        "periods": periods,
+        "world_count": len(worlds),
+        "worlds": [
+            {
+                "world": i,
+                "digest": scenario_digest(w),
+                "name": w["name"],
+                "conversion_rate": w["strategies"]["market"][
+                    "conversion_rate"
+                ],
+                "revenue_per_response": w["strategies"]["market"][
+                    "revenue_per_response"
+                ],
+                "ev_per_message": _expected_value(w),
+            }
+            for i, w in enumerate(worlds)
+        ],
+        "cells": cells,
+        "frontier": frontier,
+        "baseline_defender": baseline,
+        "phase": {d: _phase(rows) for d, rows in frontier.items()},
+        "verify": {
+            "cells": verified,
+            "failures": verify_failures,
+        },
+        "passed": passed,
+    }
+
+
+def _verify_cell(world, attacker, defender, seed, index) -> str | None:
+    """Cross-executor differential check of one cell's lowered world."""
+    from ..scenario.fuzz import check_world
+    from .lower import lower_doc
+    from .match import run_match
+
+    doc = cell_doc(world, attacker, defender)
+    result = run_match(
+        doc, seed=cell_seed(seed, attacker, defender, index)
+    )
+    return check_world(lower_doc(doc, result))
+
+
+def report_json(report: dict[str, Any]) -> str:
+    """Canonical report bytes: sorted keys, indented, trailing newline."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def report_digest(report: dict[str, Any]) -> str:
+    """SHA-256 over the canonical compact report (sans any digest key)."""
+    body = {k: v for k, v in report.items() if k != "digest"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

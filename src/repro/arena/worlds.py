@@ -1,0 +1,78 @@
+"""Seeded generation of arena worlds (schema-v2 strategies documents).
+
+Tournament sweeps need many small, varied, *comparable* worlds: the
+deployment and legitimate workload vary, the Zmail pricing stays at the
+paper's defaults (1 e-penny ≈ $0.01 per message), and the spam market —
+conversion rate and revenue per response — is drawn log-uniform across
+the bulk-to-targeted spectrum so phase diagrams get coverage on both
+sides of the break-even line.
+
+Worlds are generated with slack balances (``default_user_balance`` a
+multiple of the daily limit) and hour-tiling durations so their
+*lowered* forms stay inside the cluster executor's credit-slack
+comparison boundary (see DESIGN.md §14), and with every ISP compliant
+so the columnar executor accepts them too.
+
+Like :func:`repro.scenario.generate.generate_doc`, one
+:class:`random.Random` with a **fixed draw order** — editing draws
+reshuffles every seed's world, which only matters if something pins
+world digests (the benchmark does; regenerate it when changing this).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any
+
+from ..sim.clock import DAY, HOUR
+from ..scenario.schema import validate
+
+__all__ = ["generate_arena_doc"]
+
+
+def generate_arena_doc(
+    seed: int, *, periods: int = 8, name: str | None = None
+) -> dict[str, Any]:
+    """One canonical (validated) arena world for ``seed``."""
+    rng = random.Random(seed)
+    n_isps = rng.randint(2, 4)
+    users_per_isp = rng.randint(6, 12)
+    daily_limit = rng.choice([50, 100, 200])
+    normal_rate = rng.choice([2.0, 4.0, 8.0])
+    conversion_rate = 10.0 ** rng.uniform(-4.5, -1.5)
+    revenue = 10.0 ** rng.uniform(math.log10(2.0), math.log10(50.0))
+    doc_seed = rng.randrange(2**32)
+    doc = {
+        "schema_version": 2,
+        "name": name or f"arena-{seed & 0xFFFFFFFF:08x}",
+        "seed": doc_seed,
+        "topology": {
+            "n_isps": n_isps,
+            "users_per_isp": users_per_isp,
+        },
+        "economics": {
+            "default_daily_limit": daily_limit,
+            # Slack purses: the balance never binds before the limit
+            # does, keeping lowered worlds cluster-comparable and the
+            # §4.1 limit the only containment in play.
+            "default_user_balance": daily_limit * (periods + 2),
+            "auto_topup_amount": 0,
+        },
+        "traffic": {
+            "duration": float(periods) * DAY,
+            "normal_rate_per_day": normal_rate,
+        },
+        "cluster": {"shards": 2, "epoch": HOUR},
+        "strategies": {
+            "periods": periods,
+            # Placeholder pair; tournaments substitute per cell.
+            "attacker": {"name": "static", "isp": 0, "user": 0},
+            "defender": {"name": "zmail_static"},
+            "market": {
+                "conversion_rate": conversion_rate,
+                "revenue_per_response": revenue,
+            },
+        },
+    }
+    return validate(doc)

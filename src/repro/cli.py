@@ -409,6 +409,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-shrink-steps", type=int, default=200, metavar="N",
         help="oracle-call budget per shrink descent (default 200)",
     )
+
+    arena = sub.add_parser(
+        "arena",
+        help="strategy tournament: adaptive attackers vs defender "
+        "policies over seeded worlds; emits a byte-reproducible report "
+        "with profit/goodput frontiers and the collapse-region phase "
+        "diagram",
+    )
+    arena.add_argument(
+        "--seed", type=int, default=0,
+        help="tournament seed; worlds and every cell derive from it "
+        "(default 0)",
+    )
+    arena.add_argument(
+        "--worlds", type=int, default=25, metavar="N",
+        help="number of generated worlds per matchup (default 25)",
+    )
+    arena.add_argument(
+        "--periods", type=int, default=8, metavar="N",
+        help="match length in periods/virtual days (default 8)",
+    )
+    arena.add_argument(
+        "--attackers", metavar="A,B,...", default=None,
+        help="comma-separated attacker strategies (default: all "
+        "registered)",
+    )
+    arena.add_argument(
+        "--defenders", metavar="A,B,...", default=None,
+        help="comma-separated defender policies (default: all "
+        "registered)",
+    )
+    arena.add_argument(
+        "--verify", type=int, default=0, metavar="N",
+        help="lower the first N cells and run them through the "
+        "cross-executor differential oracle (default 0)",
+    )
+    arena.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the canonical report JSON here (byte-identical for "
+        "the same seed and arguments)",
+    )
+    arena.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full report JSON instead of the text summary",
+    )
     return parser
 
 
@@ -922,6 +967,48 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_arena(args: argparse.Namespace) -> int:
+    import json
+
+    from .arena import report_digest, report_json, run_tournament
+
+    report = run_tournament(
+        seed=args.seed,
+        attackers=args.attackers.split(",") if args.attackers else None,
+        defenders=args.defenders.split(",") if args.defenders else None,
+        worlds=args.worlds,
+        periods=args.periods,
+        verify=args.verify,
+    )
+    text = report_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    if args.as_json:
+        print(text, end="")
+        return 0 if report["passed"] else 1
+    print(f"arena:          {len(report['attackers'])} attackers x "
+          f"{len(report['defenders'])} defenders x "
+          f"{report['world_count']} worlds ({report['periods']} periods)")
+    print(f"seed:           {report['seed']}")
+    print(f"report digest:  {report_digest(report)}")
+    print(f"cells:          {len(report['cells'])} "
+          f"(verified: {report['verify']['cells']}, "
+          f"verify failures: {len(report['verify']['failures'])})")
+    print(f"{'defender':<18} {'profitable':>10} {'collapsed':>9} "
+          f"{'boundary ev $/msg':>18}")
+    for defender in report["defenders"]:
+        phase = report["phase"][defender]
+        boundary = phase["collapse_boundary_ev"]
+        shown = "-" if boundary is None else format(boundary, ".6f")
+        print(f"{defender:<18} "
+              f"{phase['profitable_worlds']:>7}/{phase['worlds']:<3}"
+              f"{phase['collapsed_worlds']:>9} "
+              f"{shown:>18}")
+    print(f"passed:         {report['passed']}")
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "quickstart": cmd_quickstart,
     "breakeven": cmd_breakeven,
@@ -941,6 +1028,7 @@ _COMMANDS = {
     "soak": cmd_soak,
     "run": cmd_run,
     "fuzz": cmd_fuzz,
+    "arena": cmd_arena,
 }
 
 

@@ -5,7 +5,7 @@ flow neutrality, ISP infrastructure costs, whole-market projection and
 incremental-adoption dynamics.
 """
 
-from .adaptive import AdaptiveSpammer, PeriodOutcome
+from .adaptive import AdaptiveSpammer, PeriodOutcome, VolumeLearner
 from .adoption import AdoptionOutcome, sweep_policies, sweep_propensity
 from .breakeven import (
     DEFAULT_CAMPAIGNS,
@@ -35,6 +35,7 @@ from .user_flows import UserFlowSummary, analyze_user_flows, required_buffer
 __all__ = [
     "AdaptiveSpammer",
     "PeriodOutcome",
+    "VolumeLearner",
     "AdoptionOutcome",
     "sweep_policies",
     "sweep_propensity",

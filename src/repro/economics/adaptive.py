@@ -24,7 +24,57 @@ from ..core.protocol import ZmailNetwork
 from ..core.transfer import SendStatus
 from ..sim.workload import Address, TrafficKind
 
-__all__ = ["PeriodOutcome", "AdaptiveSpammer"]
+__all__ = ["PeriodOutcome", "VolumeLearner", "AdaptiveSpammer"]
+
+#: Default hard ceiling on the multiplicative loop. Without one, a long
+#: profitable streak grows volume geometrically without bound — ~170
+#: profitable periods at growth 1.5 overflow a float64's exact-integer
+#: range and the "volume" stops meaning messages. Real operators are
+#: bounded by infrastructure; the learner is bounded by this cap.
+DEFAULT_MAX_VOLUME = 10_000_000
+
+
+@dataclass
+class VolumeLearner:
+    """The multiplicative profit-feedback rule, extracted for reuse.
+
+    ``update(profit)`` scales the current volume up by ``growth`` on a
+    profitable period and down by ``decay`` on a loss. Two edge cases
+    (both surfaced by arena reuse) are pinned here rather than left to
+    ``int()`` truncation:
+
+    * **Growth floor.** ``int(1 * 1.5) == 1``: a spammer that decayed to
+      the floor could never grow again even while profitable. Growth
+      always advances by at least one message.
+    * **Overflow cap.** Volume is clamped to ``max_volume`` so long
+      profitable streaks cannot run the multiplicative update past any
+      physically meaningful blast size (see :data:`DEFAULT_MAX_VOLUME`).
+    """
+
+    volume: int
+    growth: float = 1.5
+    decay: float = 0.5
+    min_volume: int = 1
+    max_volume: int = DEFAULT_MAX_VOLUME
+
+    def __post_init__(self) -> None:
+        if self.growth <= 1.0 or not 0.0 < self.decay < 1.0:
+            raise ValueError("need growth > 1 and 0 < decay < 1")
+        if self.min_volume < 1:
+            raise ValueError("min_volume must be >= 1")
+        if self.max_volume < self.min_volume:
+            raise ValueError("max_volume must be >= min_volume")
+        if not self.min_volume <= self.volume <= self.max_volume:
+            raise ValueError("volume outside [min_volume, max_volume]")
+
+    def update(self, profit: float) -> int:
+        """Adapt to one period's realised profit; returns the new volume."""
+        if profit > 0:
+            grown = max(self.volume + 1, int(self.volume * self.growth))
+            self.volume = min(self.max_volume, grown)
+        else:
+            self.volume = max(self.min_volume, int(self.volume * self.decay))
+        return self.volume
 
 
 @dataclass(frozen=True)
@@ -60,6 +110,7 @@ class AdaptiveSpammer:
             (0 when its ISP is non-compliant — nothing is debited).
         initial_volume: Period-0 blast size.
         growth / decay: Multiplicative volume factors on profit / loss.
+        max_volume: Hard ceiling on the multiplicative update.
         seed: RNG seed for target choice and conversions.
     """
 
@@ -72,6 +123,7 @@ class AdaptiveSpammer:
     initial_volume: int = 200
     growth: float = 1.5
     decay: float = 0.5
+    max_volume: int = DEFAULT_MAX_VOLUME
     seed: int = 0
     history: list[PeriodOutcome] = field(default_factory=list)
 
@@ -80,10 +132,13 @@ class AdaptiveSpammer:
             raise ValueError("conversion_rate outside [0, 1]")
         if self.initial_volume <= 0:
             raise ValueError("initial_volume must be positive")
-        if self.growth <= 1.0 or not 0.0 < self.decay < 1.0:
-            raise ValueError("need growth > 1 and 0 < decay < 1")
+        self._learner = VolumeLearner(
+            volume=self.initial_volume,
+            growth=self.growth,
+            decay=self.decay,
+            max_volume=self.max_volume,
+        )
         self._rng = random.Random(self.seed)
-        self._volume = self.initial_volume
         self._targets = [
             Address(isp, user)
             for isp in range(self.network.n_isps)
@@ -94,13 +149,14 @@ class AdaptiveSpammer:
     @property
     def current_volume(self) -> int:
         """The volume the next period will attempt."""
-        return self._volume
+        return self._learner.volume
 
     def run_period(self) -> PeriodOutcome:
         """Blast one period's volume and adapt."""
+        volume = self._learner.volume
         delivered = blocked = 0
         epennies_spent = 0
-        for _ in range(self._volume):
+        for _ in range(volume):
             target = self._rng.choice(self._targets)
             receipt = self.network.send(self.address, target, TrafficKind.SPAM)
             if receipt.status in (
@@ -118,19 +174,16 @@ class AdaptiveSpammer:
         )
         outcome = PeriodOutcome(
             period=len(self.history),
-            attempted=self._volume,
+            attempted=volume,
             delivered=delivered,
             blocked=blocked,
             conversions=conversions,
             revenue=conversions * self.revenue_per_response,
-            sending_cost=self._volume * self.infra_cost_per_message
+            sending_cost=volume * self.infra_cost_per_message
             + epennies_spent * self.epenny_dollars,
         )
         self.history.append(outcome)
-        if outcome.profit > 0:
-            self._volume = int(self._volume * self.growth)
-        else:
-            self._volume = max(1, int(self._volume * self.decay))
+        self._learner.update(outcome.profit)
         return outcome
 
     def run(self, periods: int) -> list[PeriodOutcome]:
@@ -152,8 +205,8 @@ class AdaptiveSpammer:
 
     def final_volume(self) -> int:
         """Volume the operator settled on."""
-        return self._volume
+        return self._learner.volume
 
     def collapsed(self, *, below: int = 10) -> bool:
         """Whether the market drove the campaign to (near) zero volume."""
-        return self._volume < below
+        return self._learner.volume < below

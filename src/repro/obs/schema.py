@@ -57,6 +57,9 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "restart": frozenset({"node"}),
     "snapshot.round": frozenset({"round", "attempt", "outcome"}),
     "monitor.violation": frozenset({"monitor", "kind"}),
+    # strategy arena — one event per tournament-match period. Economics
+    # bookkeeping, not a ledger fact, so not in LEDGER_EVENT_TYPES.
+    "arena.period": frozenset({"period", "attacker", "defender"}),
     # SMTP face
     "gateway.submit": frozenset({"sender", "status"}),
     "gateway.inbound": frozenset({"outcome"}),

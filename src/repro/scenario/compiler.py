@@ -37,7 +37,7 @@ from ..obs.metrics_export import MetricsExporter
 from ..obs.trace import AdditiveMultisetDigest, DigestSink, TraceRecorder
 from ..sim.network import LinkSpec
 from ..sim.workload import Address, FloodSpec
-from .schema import SCHEMA_VERSION, load, scenario_digest, validate
+from .schema import load, scenario_digest, validate
 
 __all__ = [
     "PLAN_MODES",
@@ -64,6 +64,13 @@ class ScenarioPlan:
 
     doc: dict[str, Any] = field(repr=False)
     digest: str
+    # Lowering cache (strategies-docs only): the arena pilot match that
+    # resolves a strategy pair into a concrete traffic schedule runs
+    # once per plan, not once per executor. Excluded from equality so
+    # two plans over the same document still compare equal.
+    _cache: dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
@@ -91,6 +98,26 @@ class ScenarioPlan:
         bad = set(topo["noncompliant"])
         return [isp not in bad for isp in range(topo["n_isps"])]
 
+    def lowered(self) -> "ScenarioPlan":
+        """This plan with any ``strategies`` term resolved into traffic.
+
+        Plain documents return ``self``. For strategies-docs (schema v2,
+        ``strategies`` present) a pilot match on the direct reference
+        path resolves the attacker/defender pair into its deterministic
+        per-period send schedule, which is lowered to plain
+        spammer/zombie traffic terms — so strategy worlds run on every
+        executor through the ordinary plan machinery. The pilot runs at
+        most once per plan (cached).
+        """
+        if self.doc.get("strategies") is None:
+            return self
+        cached = self._cache.get("lowered")
+        if cached is None:
+            from ..arena.lower import lower_plan
+
+            cached = self._cache["lowered"] = lower_plan(self)
+        return cached
+
     def scenario(self, mode: str = "direct") -> Scenario:
         """The document as a :class:`~repro.core.scenario.Scenario`.
 
@@ -98,8 +125,11 @@ class ScenarioPlan:
         the base for the cluster's shard workers), ``columnar``, or
         ``engine`` (streaming engine over a zero-latency link, keeping
         every delivery inside the sender's epoch so invariant facts line
-        up with the synchronous drives).
+        up with the synchronous drives). Strategy worlds lower first
+        (see :meth:`lowered`).
         """
+        if self.doc.get("strategies") is not None:
+            return self.lowered().scenario(mode)
         doc = self.doc
         topo, traffic = doc["topology"], doc["traffic"]
         scenario = Scenario(
@@ -287,7 +317,7 @@ def _manifest(
             "runtime": "scenario",
             "scenario": plan.name,
             "scenario_digest": plan.digest,
-            "schema_version": SCHEMA_VERSION,
+            "schema_version": doc["schema_version"],
             "n_isps": doc["topology"]["n_isps"],
             "users_per_isp": doc["topology"]["users_per_isp"],
             "duration": doc["traffic"]["duration"],

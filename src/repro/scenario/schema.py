@@ -31,6 +31,9 @@ from ..sim.clock import DAY, HOUR
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ATTACKER_STRATEGIES",
+    "DEFENDER_STRATEGIES",
     "validate",
     "parse",
     "load",
@@ -38,8 +41,15 @@ __all__ = [
     "scenario_digest",
 ]
 
-#: Bumped when sections, keys, or their meaning change.
-SCHEMA_VERSION = 1
+#: Bumped when sections, keys, or their meaning change. Version 2 adds
+#: the optional ``strategies`` term (the arena's attacker/defender/market
+#: triple); everything a version-1 document can say means the same thing
+#: in version 2, and a version-1 document's canonical form is unchanged
+#: (no ``strategies`` key is materialized into it).
+SCHEMA_VERSION = 2
+
+#: Every version this library still validates and runs.
+SUPPORTED_VERSIONS = (1, 2)
 
 _POLICIES = tuple(p.value for p in NonCompliantMailPolicy)
 _TRAFFIC_KINDS = ("normal", "spam", "zombie")
@@ -216,6 +226,156 @@ _ITEM_SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
 }
 
 
+# -- the v2 ``strategies`` term ---------------------------------------------
+#
+# The schema owns the strategy vocabulary: every attacker/defender name
+# the arena implements, with its tunable parameters. ``repro.arena``
+# registers an implementation for exactly these names (tested for
+# parity), so a document naming a strategy is always runnable.
+
+#: attacker name -> parameter schema (key -> (default, validator)).
+ATTACKER_STRATEGIES: dict[str, dict[str, tuple[Any, Any]]] = {
+    # Fixed-volume blaster: the PR-9-era static spammer as a strategy.
+    "static": {
+        "volume": (200, _int(1)),
+    },
+    # Multiplicative response-rate learner (AdaptiveSpammer's loop).
+    "response_rate": {
+        "volume": (200, _int(1)),
+        "growth": (1.5, _number(1.0, exclusive=True)),
+        "decay": (0.5, _number(0.0, exclusive=True)),
+        "max_volume": (100_000, _int(1)),
+    },
+    # Rents compromised machines and drives them at full throttle; the
+    # §4.1 limit + zombie monitor detect and disinfect the fleet.
+    "zombie_fleet": {
+        "fleet": (8, _int(1)),
+        "per_machine": (0, _int(0)),  # 0 = push to the daily limit
+    },
+    # Sends below the detection threshold in bursts, idling between, to
+    # starve the limit-warning signal the zombie monitor keys on.
+    "burst_idle": {
+        "fleet": (8, _int(1)),
+        "burst_every": (2, _int(1)),
+        "headroom": (16, _int(0)),
+    },
+    # Harvests the e-penny endowments of accounts at a colluding ISP by
+    # washing their balances (paid sends) to a hub, then spams on the
+    # harvested pennies instead of bought ones.
+    "epenny_wash": {
+        "colluding_isp": (-1, _int(-1)),  # -1 = highest-numbered ISP
+        "volume": (200, _int(1)),
+        "growth": (1.5, _number(1.0, exclusive=True)),
+        "decay": (0.5, _number(0.0, exclusive=True)),
+        "max_volume": (100_000, _int(1)),
+        "headroom": (16, _int(0)),  # §4.1 stealth margin per account
+    },
+}
+
+#: defender name -> parameter schema (key -> (default, validator)).
+DEFENDER_STRATEGIES: dict[str, dict[str, tuple[Any, Any]]] = {
+    # The paper's protocol exactly as configured; no reactive tuning.
+    "zmail_static": {},
+    # Tunes e-penny price and daily limits against observed spam share,
+    # trading goodput (tight limits block legitimate mail) for control.
+    "price_tuner": {
+        "target_spam_share": (0.05, _number(0.0, exclusive=True)),
+        "price_step": (2.0, _number(1.0, exclusive=True)),
+        "max_price_multiplier": (16.0, _number(1.0)),
+        "min_limit": (20, _int(1)),
+        "limit_step": (2, _int(2)),
+    },
+    # Gardner-Stephen POW exchange: offers a proof-of-work route priced
+    # in CPU-seconds, doubling difficulty while spam persists.
+    "pow_exchange": {
+        "base_seconds": (1.0, _number(0.0, exclusive=True)),
+        "max_seconds": (64.0, _number(0.0, exclusive=True)),
+        "target_spam_share": (0.05, _number(0.0, exclusive=True)),
+    },
+    # GridEmail-style priced priority classes: a capped bulk class at a
+    # dollar price, delivered to the bulk folder (discounted responses).
+    "priority_classes": {
+        "bulk_price_dollars": (0.002, _number(0.0)),
+        "bulk_cap": (2_000, _int(0)),
+        "min_cap": (100, _int(0)),
+    },
+}
+
+#: The ``strategies.market`` knobs: the dollar economy around the ledger.
+_MARKET_SCHEMA: dict[str, tuple[Any, Any]] = {
+    "conversion_rate": (0.0005, _rate()),
+    "revenue_per_response": (25.0, _number(0.0)),
+    "infra_cost_per_message": (0.0001, _number(0.0)),
+    "epenny_dollars": (0.01, _number(0.0)),
+    "cpu_second_dollars": (2e-05, _number(0.0)),
+    "bulk_conversion_factor": (0.2, _rate()),
+    # The underground economy the zombie strategies shop in: compromised
+    # machines rent by the day, compromised *accounts* (with their
+    # e-penny endowments) sell outright — zero-sum means washed pennies
+    # were still bought by someone, and this is that price.
+    "rent_per_machine_day": (0.05, _number(0.0)),
+    "compromised_account_dollars": (1.0, _number(0.0)),
+}
+
+
+def _walk_strategy(path: str, spec, registry, extra_schema):
+    """Validate one ``attacker``/``defender`` clause against the registry."""
+    if not isinstance(spec, dict):
+        raise SimulationError(f"scenario {path}: expected a mapping")
+    name = spec.get("name")
+    if name not in registry:
+        raise SimulationError(
+            f"scenario {path}.name: {name!r} is not a known strategy; "
+            f"known strategies are {sorted(registry)}"
+        )
+    unknown = sorted(set(spec) - {"name", "params", *extra_schema})
+    if unknown:
+        raise SimulationError(
+            f"scenario {path}: unknown keys {unknown}; known keys are "
+            f"{sorted({'name', 'params', *extra_schema})}"
+        )
+    out: dict[str, Any] = {"name": name}
+    for key, (default, validator) in extra_schema.items():
+        value = spec.get(key, default)
+        out[key] = _check(f"{path}.{key}", value, validator)
+    out["params"] = _walk_section(
+        f"{path}.params", spec.get("params", {}), registry[name]
+    )
+    return out
+
+
+def _walk_strategies(section) -> dict[str, Any]:
+    if not isinstance(section, dict):
+        raise SimulationError("scenario strategies: expected a mapping")
+    known = {"periods", "attacker", "defender", "market"}
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise SimulationError(
+            f"scenario strategies: unknown keys {unknown}; "
+            f"known keys are {sorted(known)}"
+        )
+    for side in ("attacker", "defender"):
+        if side not in section:
+            raise SimulationError(f"scenario strategies.{side}: required")
+    return {
+        "periods": _check(
+            "strategies.periods", section.get("periods", 10), _int(1)
+        ),
+        "attacker": _walk_strategy(
+            "strategies.attacker",
+            section["attacker"],
+            ATTACKER_STRATEGIES,
+            {"isp": (0, _int(0)), "user": (0, _int(0))},
+        ),
+        "defender": _walk_strategy(
+            "strategies.defender", section["defender"], DEFENDER_STRATEGIES, {}
+        ),
+        "market": _walk_section(
+            "strategies.market", section.get("market", {}), _MARKET_SCHEMA
+        ),
+    }
+
+
 def _check(path: str, value, validator):
     try:
         return validator(value)
@@ -267,14 +427,21 @@ def validate(doc: dict[str, Any]) -> dict[str, Any]:
     if version is None:
         raise SimulationError(
             "scenario document has no schema_version; "
-            f"this library speaks version {SCHEMA_VERSION}"
+            f"this library speaks versions {SUPPORTED_VERSIONS}"
         )
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise SimulationError(
             f"scenario schema_version {version!r} is not supported; "
-            f"this library speaks version {SCHEMA_VERSION}"
+            f"this library speaks versions {SUPPORTED_VERSIONS}"
         )
     known_top = {"schema_version", "name", "seed", "crashes", *_SECTIONS}
+    if version >= 2:
+        known_top.add("strategies")
+    elif "strategies" in doc:
+        raise SimulationError(
+            "scenario strategies: requires schema_version 2 "
+            f"(document declares {version})"
+        )
     unknown = sorted(set(doc) - known_top)
     if unknown:
         raise SimulationError(
@@ -284,11 +451,19 @@ def validate(doc: dict[str, Any]) -> dict[str, Any]:
     name = doc.get("name")
     if not isinstance(name, str) or not name:
         raise SimulationError("scenario name: required non-empty string")
+    # Canonical form preserves the declared version: a v1 document's
+    # canonical bytes (and digest) are exactly what they were before the
+    # ``strategies`` term existed.
     out: dict[str, Any] = {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": version,
         "name": name,
         "seed": _check("seed", doc.get("seed", 0), _int()),
     }
+    if version >= 2:
+        strategies = doc.get("strategies")
+        out["strategies"] = (
+            None if strategies is None else _walk_strategies(strategies)
+        )
     for section, schema in _SECTIONS.items():
         out[section] = _walk_section(section, doc.get(section, {}), schema)
     for kind in _ITEM_SCHEMAS:
@@ -363,6 +538,30 @@ def _cross_validate(doc: dict[str, Any]) -> None:
                 f"scenario crashes[{i}].node: {node!r} is neither 'bank' "
                 f"nor 'isp0'..'isp{n_isps - 1}'"
             )
+    strategies = doc.get("strategies")
+    if strategies is not None:
+        attacker = strategies["attacker"]
+        _check_address("strategies.attacker", attacker["isp"],
+                       attacker["user"], n_isps, users)
+        if strategies["periods"] * DAY > duration:
+            raise SimulationError(
+                f"scenario strategies.periods: {strategies['periods']} "
+                f"day-long periods do not fit traffic.duration ({duration})"
+            )
+        if attacker["name"] == "epenny_wash":
+            colluding = attacker["params"]["colluding_isp"]
+            resolved = n_isps - 1 if colluding == -1 else colluding
+            if not 0 <= resolved < n_isps:
+                raise SimulationError(
+                    f"scenario strategies.attacker.params.colluding_isp: "
+                    f"ISP {colluding} outside [0, {n_isps})"
+                )
+            if resolved in doc["topology"]["noncompliant"]:
+                raise SimulationError(
+                    "scenario strategies.attacker.params.colluding_isp: "
+                    f"ISP {resolved} is non-compliant — washing needs a "
+                    "compliant ledger to harvest"
+                )
     cluster = doc["cluster"]
     if cluster["shards"] > n_isps:
         raise SimulationError(

@@ -1,0 +1,93 @@
+"""Lowering strategy worlds onto the batch executors.
+
+The contract: a strategies-document's pilot-match schedule lowers to a
+plain schema-v2 world that every executor runs with byte-identical
+invariant manifests, and the compiler routes strategies-plans through
+that lowering transparently (``repro run``/``repro fuzz`` just work).
+"""
+
+import pytest
+
+from repro.arena import cell_doc, generate_arena_doc, lower_doc, run_match
+from repro.scenario.compiler import compile_scenario, run_plan
+from repro.scenario.fuzz import check_world
+from repro.scenario.schema import scenario_digest
+from repro.sim.clock import DAY
+
+
+class TestLowerDoc:
+    def test_schedule_becomes_plain_traffic(self):
+        doc = cell_doc(generate_arena_doc(7), "static", "zmail_static")
+        result = run_match(doc)
+        lowered = lower_doc(doc, result)
+        assert lowered["strategies"] is None
+        assert lowered["name"].endswith("+lowered")
+        spammers = lowered["traffic"]["spammers"]
+        assert len(spammers) == len(result.schedule)
+        for (period, kind, isp, user, volume), spec in zip(
+            result.schedule, spammers
+        ):
+            assert kind == "spam"
+            assert spec["isp"] == isp and spec["user"] == user
+            assert spec["volume"] == volume
+            assert spec["war_chest"] == volume
+            assert spec["start"] == period * DAY
+            assert spec["duration"] == DAY
+
+    def test_zombie_schedule_becomes_zombie_specs(self):
+        doc = cell_doc(
+            generate_arena_doc(7), "zombie_fleet", "zmail_static"
+        )
+        result = run_match(doc)
+        lowered = lower_doc(doc, result)
+        zombies = lowered["traffic"]["zombies"]
+        assert zombies
+        assert len(zombies) == len(result.schedule)
+        for (period, kind, isp, user, volume), spec in zip(
+            result.schedule, zombies
+        ):
+            assert kind == "zombie"
+            assert spec["rate_per_hour"] == pytest.approx(volume / 24.0)
+            assert spec["start"] == period * DAY
+            assert spec["end"] == (period + 1) * DAY
+
+    def test_pilot_runs_here_when_no_result_is_passed(self):
+        doc = cell_doc(generate_arena_doc(7), "static", "zmail_static")
+        explicit = lower_doc(doc, run_match(doc))
+        implicit = lower_doc(doc)
+        assert scenario_digest(explicit) == scenario_digest(implicit)
+
+    def test_lowered_world_passes_the_differential_oracle(self):
+        # The acceptance wiring: arena traffic rides the same
+        # cross-executor oracle as everything else.
+        for attacker in ("static", "zombie_fleet", "epenny_wash"):
+            doc = cell_doc(generate_arena_doc(9), attacker, "zmail_static")
+            assert check_world(lower_doc(doc)) is None, attacker
+
+
+class TestCompilerRouting:
+    def test_strategies_plan_lowers_once_and_caches(self):
+        plan = compile_scenario(generate_arena_doc(3))
+        assert plan.lowered() is plan.lowered()
+        assert plan.lowered().doc["strategies"] is None
+
+    def test_plain_plan_lowered_is_itself(self):
+        doc = lower_doc(
+            cell_doc(generate_arena_doc(3), "static", "zmail_static")
+        )
+        plan = compile_scenario(doc)
+        assert plan.lowered() is plan
+
+    def test_executors_byte_agree_on_a_strategies_plan(self):
+        plan = compile_scenario(generate_arena_doc(3))
+        manifests = {
+            mode: run_plan(plan, mode)["manifest"].to_json()
+            for mode in ("direct", "columnar", "cluster")
+        }
+        assert manifests["direct"] == manifests["columnar"]
+        assert manifests["direct"] == manifests["cluster"]
+
+    def test_run_plan_reports_conservation(self):
+        plan = compile_scenario(generate_arena_doc(5))
+        result = run_plan(plan, "direct")
+        assert result["manifest"].extra["conserved"] is True

@@ -1,0 +1,173 @@
+"""Tournament determinism, permutation invariance, and phase extraction.
+
+The two hypothesis properties the issue pins:
+
+* same seed → byte-identical report (``report_json`` compares equal,
+  which is exactly what CI's ``cmp`` smoke checks at the file level);
+* permuting the matchup order never changes any cell's outcome — cell
+  seeds derive from ``(seed, attacker, defender, world index)``, not
+  from iteration order.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arena import (
+    ATTACKERS,
+    DEFENDERS,
+    cell_seed,
+    generate_arena_doc,
+    report_digest,
+    report_json,
+    run_tournament,
+)
+from repro.errors import SimulationError
+
+ARENA_SETTINGS = settings(max_examples=4, deadline=None, derandomize=True)
+
+FAST_ATTACKERS = sorted(ATTACKERS)
+FAST_DEFENDERS = sorted(DEFENDERS)
+
+
+def mini(seed, attackers, defenders, worlds=1, periods=2, **kw):
+    return run_tournament(
+        seed=seed, attackers=attackers, defenders=defenders,
+        worlds=worlds, periods=periods, **kw
+    )
+
+
+class TestDeterminism:
+    @ARENA_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        attackers=st.lists(
+            st.sampled_from(FAST_ATTACKERS), min_size=1, max_size=2,
+            unique=True,
+        ),
+        defenders=st.lists(
+            st.sampled_from(FAST_DEFENDERS), min_size=1, max_size=2,
+            unique=True,
+        ),
+    )
+    def test_same_seed_is_byte_identical(self, seed, attackers, defenders):
+        a = mini(seed, attackers, defenders)
+        b = mini(seed, attackers, defenders)
+        assert report_json(a) == report_json(b)
+        assert report_digest(a) == report_digest(b)
+
+    @ARENA_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matchup_permutation_never_changes_cells(self, seed):
+        forward = mini(
+            seed, ["static", "zombie_fleet"],
+            ["zmail_static", "price_tuner"], worlds=2,
+        )
+        backward = mini(
+            seed, ["zombie_fleet", "static"],
+            ["price_tuner", "zmail_static"], worlds=2,
+        )
+
+        def cells(report):
+            return {
+                (c["attacker"], c["defender"], c["world"]): c
+                for c in report["cells"]
+            }
+
+        assert cells(forward) == cells(backward)
+        # Frontier and phase are cell-derived, so they agree too.
+        assert forward["phase"] == backward["phase"]
+
+    def test_report_json_is_canonical(self):
+        report = mini(4, ["static"], ["zmail_static"])
+        text = report_json(report)
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(
+            json.dumps(report, sort_keys=True)
+        )
+
+    def test_cell_seed_ignores_everything_but_the_key(self):
+        assert cell_seed(1, "a", "b", 0) == cell_seed(1, "a", "b", 0)
+        assert cell_seed(1, "a", "b", 0) != cell_seed(1, "a", "b", 1)
+        assert cell_seed(1, "a", "b", 0) != cell_seed(2, "a", "b", 0)
+        assert cell_seed(1, "a", "b", 0) != cell_seed(1, "b", "a", 0)
+
+
+class TestReportShape:
+    def test_full_registry_default_and_world_metadata(self):
+        report = run_tournament(seed=8, worlds=2, periods=2)
+        assert report["attackers"] == FAST_ATTACKERS
+        assert report["defenders"] == FAST_DEFENDERS
+        assert len(report["cells"]) == (
+            len(FAST_ATTACKERS) * len(FAST_DEFENDERS) * 2
+        )
+        assert [w["world"] for w in report["worlds"]] == [0, 1]
+        for world in report["worlds"]:
+            assert world["ev_per_message"] == pytest.approx(
+                world["conversion_rate"] * world["revenue_per_response"]
+            )
+        assert report["baseline_defender"] == "zmail_static"
+        assert report["passed"] is True
+
+    def test_explicit_world_documents_are_accepted(self):
+        worlds = [generate_arena_doc(5, periods=2)]
+        report = mini(3, ["static"], ["zmail_static"], worlds=worlds)
+        assert report["world_count"] == 1
+        assert report["worlds"][0]["name"] == worlds[0]["name"]
+
+    def test_unknown_strategy_names_are_loud(self):
+        with pytest.raises(SimulationError, match="unknown attacker"):
+            mini(1, ["nope"], ["zmail_static"])
+        with pytest.raises(SimulationError, match="unknown defender"):
+            mini(1, ["static"], ["nope"])
+
+    def test_verify_runs_the_differential_oracle(self):
+        report = mini(
+            6, ["static"], ["zmail_static"], worlds=1, periods=2, verify=1
+        )
+        assert report["verify"] == {"cells": 1, "failures": []}
+        assert report["passed"] is True
+
+
+class TestPhaseExtraction:
+    def test_collapse_region_exists_under_default_zmail_pricing(self):
+        # A slice of the acceptance criterion, cheap enough for tier-1:
+        # hand the tournament one hopeless market (ev/msg an order of
+        # magnitude under every route's cost floor) and one lucrative
+        # one; the phase must split them.
+        lo = generate_arena_doc(101, periods=3)
+        lo["strategies"]["market"]["conversion_rate"] = 1e-5
+        lo["strategies"]["market"]["revenue_per_response"] = 2.0
+        hi = generate_arena_doc(102, periods=3)
+        hi["strategies"]["market"]["conversion_rate"] = 0.01
+        hi["strategies"]["market"]["revenue_per_response"] = 25.0
+        report = run_tournament(
+            seed=9,
+            attackers=["static", "zombie_fleet", "epenny_wash"],
+            defenders=["zmail_static"],
+            worlds=[lo, hi],
+            periods=3,
+        )
+        phase = report["phase"]["zmail_static"]
+        assert phase["collapsed_worlds"] == 1
+        assert phase["profitable_worlds"] == 1
+        assert phase["collapse_boundary_ev"] == pytest.approx(2e-5)
+        assert phase["first_profitable_ev"] == pytest.approx(0.25)
+        assert phase["bins"]
+
+    def test_phase_handles_all_collapsed(self):
+        lo = generate_arena_doc(103, periods=2)
+        lo["strategies"]["market"]["conversion_rate"] = 1e-5
+        lo["strategies"]["market"]["revenue_per_response"] = 2.0
+        report = run_tournament(
+            seed=9, attackers=["static"], defenders=["zmail_static"],
+            worlds=[lo], periods=2,
+        )
+        phase = report["phase"]["zmail_static"]
+        assert phase["profitable_worlds"] == 0
+        assert phase["first_profitable_ev"] is None
+        assert phase["collapse_boundary_ev"] == pytest.approx(2e-5)

@@ -203,3 +203,39 @@ class TestCluster:
             digests.append(path.read_bytes())
         capsys.readouterr()
         assert digests[0] != digests[1]
+
+
+class TestArenaCommand:
+    ARGS = [
+        "arena", "--seed", "5", "--worlds", "2", "--periods", "3",
+        "--attackers", "static,zombie_fleet",
+        "--defenders", "zmail_static,price_tuner",
+    ]
+
+    def test_arena_prints_summary_and_passes(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 attackers x 2 defenders x 2 worlds" in out
+        assert "report digest:" in out
+        assert "passed:         True" in out
+
+    def test_arena_report_is_cmp_identical(self, tmp_path, capsys):
+        one = tmp_path / "one.json"
+        two = tmp_path / "two.json"
+        assert main(self.ARGS + ["--out", str(one)]) == 0
+        assert main(self.ARGS + ["--out", str(two)]) == 0
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_arena_json_output_parses(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert len(report["cells"]) == 8
+
+    def test_arena_unknown_strategy_is_loud(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown attacker"):
+            main(["arena", "--worlds", "1", "--attackers", "nope"])

@@ -84,3 +84,71 @@ class TestAdaptiveDynamics:
             AdaptiveSpammer(network=net, address=Address(0, 0), growth=0.9)
         with pytest.raises(ValueError):
             AdaptiveSpammer(network=net, address=Address(0, 0), initial_volume=0)
+
+
+class TestVolumeLearner:
+    """Regression pins for the two edge cases surfaced by arena reuse."""
+
+    def test_profitable_spammer_escapes_the_volume_floor(self):
+        """int(1 * 1.5) == 1 — growth must still advance from volume 1."""
+        from repro.economics.adaptive import VolumeLearner
+
+        learner = VolumeLearner(volume=1)
+        assert learner.update(profit=1.0) == 2
+        assert learner.update(profit=1.0) == 3  # int(2 * 1.5) == 3
+
+    def test_long_profitable_streak_is_capped_not_overflowed(self):
+        """A thousand profitable periods must not grow volume without
+        bound (pre-fix: geometric growth past float64 exact range)."""
+        from repro.economics.adaptive import VolumeLearner
+
+        learner = VolumeLearner(volume=200, max_volume=50_000)
+        for _ in range(1000):
+            volume = learner.update(profit=1.0)
+            assert volume <= 50_000
+        assert learner.volume == 50_000
+
+    def test_decay_floor_holds(self):
+        from repro.economics.adaptive import VolumeLearner
+
+        learner = VolumeLearner(volume=2)
+        assert learner.update(profit=-1.0) == 1
+        assert learner.update(profit=-1.0) == 1
+
+    def test_spammer_at_floor_recovers_when_market_turns(self):
+        """End-to-end pin: collapse to the floor, then a profitable
+        market must let the loop climb back out."""
+        spammer = make_spammer(compliant=True, conversion=0.0, volume=4)
+        spammer.run(periods=4)
+        assert spammer.current_volume == 1
+        # Flip the market: free sending, guaranteed conversions.
+        spammer.conversion_rate = 1.0
+        spammer.epenny_dollars = 0.0
+        spammer.run_period()
+        assert spammer.current_volume == 2
+
+    def test_spammer_max_volume_honored(self):
+        spammer = AdaptiveSpammer(
+            network=make_network(False),
+            address=Address(2, 0),
+            conversion_rate=1.0,
+            epenny_dollars=0.0,
+            initial_volume=64,
+            max_volume=100,
+        )
+        spammer.run(periods=3)
+        assert spammer.final_volume() == 100
+
+    def test_learner_validation(self):
+        from repro.economics.adaptive import VolumeLearner
+
+        with pytest.raises(ValueError):
+            VolumeLearner(volume=1, growth=1.0)
+        with pytest.raises(ValueError):
+            VolumeLearner(volume=1, decay=0.0)
+        with pytest.raises(ValueError):
+            VolumeLearner(volume=0)
+        with pytest.raises(ValueError):
+            VolumeLearner(volume=5, max_volume=4)
+        with pytest.raises(ValueError):
+            VolumeLearner(volume=1, min_volume=0)

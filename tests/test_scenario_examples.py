@@ -83,3 +83,18 @@ def test_cli_fuzz_smoke(capsys):
     report = json.loads(capsys.readouterr().out)
     assert report == {"seed": 5, "count": 1, "shards": 2,
                       "failures": [], "passed": True}
+
+
+def test_arena_document_byte_agrees_across_executors():
+    # The committed strategy-world example: the v2 `strategies` term
+    # lowers through a pilot match onto every executor, and the
+    # invariant manifests must not disagree by a byte (the same oracle
+    # the plain worlds above answer to).
+    plan = compile_scenario(example("arena-wash-vs-tuner.yaml"))
+    manifests = {
+        mode: run_plan(plan, mode)["manifest"].to_json()
+        for mode in ("direct", "columnar", "cluster")
+    }
+    assert manifests["direct"] == manifests["columnar"]
+    assert manifests["direct"] == manifests["cluster"]
+    assert run_plan(plan, "direct")["manifest"].extra["conserved"] is True

@@ -79,7 +79,7 @@ def test_yaml_and_json_parse_to_the_same_document():
         "topology:\n  n_isps: 3\n  users_per_isp: 4\n"
         "traffic:\n  duration: 21600.0\n  normal_rate_per_day: 4.0\n"
     )
-    assert parse(yaml_text) == validate(base_doc())
+    assert parse(yaml_text) == validate(base_doc(schema_version=1))
 
 
 def test_digest_tracks_content_not_key_order():
@@ -179,4 +179,133 @@ def test_epoch_must_tile_reconcile_when_sharded():
         cluster={"shards": 2, "epoch": HOUR},
     )
     with pytest.raises(SimulationError, match="reconcile.every"):
+        validate(doc)
+
+
+# -- the v2 ``strategies`` term ----------------------------------------------
+
+
+def strategies_doc(**strategy_overrides):
+    """A valid v2 document with a strategies term (6h of background)."""
+    strategies = {
+        "periods": 1,
+        "attacker": {"name": "static", "isp": 0, "user": 0},
+        "defender": {"name": "zmail_static"},
+    }
+    strategies.update(strategy_overrides)
+    return base_doc(
+        schema_version=2,
+        traffic={"duration": float(DAY), "normal_rate_per_day": 4.0},
+        strategies=strategies,
+    )
+
+
+def test_v1_canonical_form_has_no_strategies_key():
+    # The bump to SCHEMA_VERSION 2 must not disturb v1 worlds: their
+    # canonical bytes (and so every pinned digest) are version-stable.
+    doc = validate(base_doc(schema_version=1))
+    assert doc["schema_version"] == 1
+    assert "strategies" not in doc
+    assert "strategies" not in canonical_dump(doc)
+
+
+def test_v2_materializes_strategy_defaults():
+    doc = validate(strategies_doc())
+    strategies = doc["strategies"]
+    assert strategies["attacker"]["params"]["volume"] == 200
+    assert strategies["defender"]["params"] == {}
+    assert strategies["market"]["epenny_dollars"] == 0.01
+    assert strategies["market"]["conversion_rate"] == 0.0005
+    # Canonical-form contract extends to the new term.
+    assert validate(doc) == doc
+    assert parse(canonical_dump(doc)) == doc
+    assert scenario_digest(doc) == scenario_digest(parse(canonical_dump(doc)))
+
+
+def test_v2_without_strategies_materializes_null():
+    doc = base_doc(schema_version=2)
+    assert validate(doc)["strategies"] is None
+
+
+def test_strategies_digest_tracks_strategy_content():
+    a = validate(strategies_doc())
+    b = strategies_doc()
+    b["strategies"]["attacker"]["params"] = {"volume": 999}
+    assert scenario_digest(a) != scenario_digest(validate(b))
+
+
+@pytest.mark.parametrize(
+    "mutate, pattern",
+    [
+        (lambda s: s.update(attacker={"name": "nope"}),
+         "not a known strategy"),
+        (lambda s: s.update(defender={"name": "nope"}),
+         "not a known strategy"),
+        (lambda s: s.pop("attacker"), "strategies.attacker: required"),
+        (lambda s: s.pop("defender"), "strategies.defender: required"),
+        (lambda s: s.update(wat=1), "strategies: unknown keys"),
+        (lambda s: s["attacker"].update(wat=1),
+         "strategies.attacker: unknown keys"),
+        (lambda s: s["attacker"].update(params={"wat": 1}),
+         "strategies.attacker.params: unknown keys"),
+        (lambda s: s["attacker"].update(params={"volume": 0}),
+         "must be >= 1"),
+        (lambda s: s.update(periods=0), "strategies.periods"),
+        (lambda s: s.update(periods=99), "do not fit traffic.duration"),
+        (lambda s: s["attacker"].update(isp=7),
+         "strategies.attacker.isp: ISP 7 outside"),
+        (lambda s: s.update(market={"epenny_dollars": "cheap"}),
+         "strategies.market.epenny_dollars"),
+    ],
+)
+def test_invalid_strategies_are_rejected_loudly(mutate, pattern):
+    doc = strategies_doc()
+    mutate(doc["strategies"])
+    with pytest.raises(SimulationError, match=pattern):
+        validate(doc)
+
+
+def test_strategies_key_is_loudly_v2_only():
+    doc = strategies_doc()
+    doc["schema_version"] = 1
+    with pytest.raises(SimulationError, match="requires schema_version 2"):
+        validate(doc)
+
+
+def test_colluding_isp_resolution_and_bounds():
+    doc = strategies_doc(
+        attacker={
+            "name": "epenny_wash",
+            "isp": 0,
+            "user": 0,
+            "params": {"colluding_isp": -1},
+        }
+    )
+    out = validate(doc)
+    # -1 is preserved in canonical form (resolution happens at match
+    # time) but must resolve to a compliant ISP in range.
+    assert out["strategies"]["attacker"]["params"]["colluding_isp"] == -1
+    bad = strategies_doc(
+        attacker={
+            "name": "epenny_wash",
+            "isp": 0,
+            "user": 0,
+            "params": {"colluding_isp": 9},
+        }
+    )
+    with pytest.raises(SimulationError, match="ISP 9 outside"):
+        validate(bad)
+
+
+def test_colluding_isp_must_be_compliant():
+    doc = strategies_doc(
+        attacker={
+            "name": "epenny_wash",
+            "isp": 0,
+            "user": 0,
+            "params": {"colluding_isp": 2},
+        }
+    )
+    doc["topology"]["noncompliant"] = [2]
+    with pytest.raises(SimulationError, match="compliant"):
         validate(doc)

@@ -39,6 +39,11 @@
 #    crash/restart cycles against the durable SQLite store must produce
 #    a run manifest byte-identical to the uninterrupted in-memory
 #    oracle (cmp) — the recovery-equivalence contract of repro.store.
+# 9. Runs the arena determinism smoke: the same seeded mini-tournament
+#    (three attacker strategies vs the static Zmail defender) twice,
+#    byte-comparing the two canonical reports (cmp) and requiring every
+#    cell to pass conservation/consistency. The full 100-world phase
+#    diagram runs via benchmarks/bench_arena.py (see the workflow).
 #
 # The committed reference was measured on a developer machine; raw
 # msgs/sec on other hardware differ, so the default tolerance is loose
@@ -75,7 +80,7 @@ PYTHONPATH=src python -m pytest -x -q
 
 if [ "${CI_COVERAGE:-1}" != "0" ]; then
     COVERAGE_FLOOR="${CI_COVERAGE_FLOOR:-94}"
-    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/store/scenario/reconcile at 90%) =="
+    echo "== coverage gate (floor ${COVERAGE_FLOOR}%, obs at 100%, cluster/columnar/store/scenario/arena/reconcile at 90%) =="
     PYTHONPATH=src python tools/coverage_gate.py \
         --target src/repro \
         --floor "${COVERAGE_FLOOR}" \
@@ -84,6 +89,7 @@ if [ "${CI_COVERAGE:-1}" != "0" ]; then
         --require columnar=90 \
         --require store=90 \
         --require scenario=90 \
+        --require arena=90 \
         --require core/reconcile.py=90 \
         -- -q -p no:cacheprovider
 else
@@ -234,5 +240,26 @@ cmp /tmp/soak_manifest_durable.json /tmp/soak_manifest_oracle.json \
     || { echo "durable soak diverges from the in-memory oracle"; exit 1; }
 rm -f /tmp/soak_store.db
 echo "soak manifests byte-identical (recovery equivalence holds)"
+
+ARENA_SEED="${CI_ARENA_SEED:-13}"
+echo "== arena determinism smoke (seed ${ARENA_SEED}, mini-tournament twice) =="
+# Strategy-tournament reproducibility gate: the same seeded matchup
+# matrix must produce a byte-identical canonical report, and the run
+# itself fails (exit nonzero) if any cell breaks conservation or §4.4
+# consistency. One cell is also lowered and cross-checked against the
+# executor matrix (--verify 1).
+PYTHONPATH=src python -m repro arena --seed "${ARENA_SEED}" \
+    --worlds 2 --periods 3 --verify 1 \
+    --attackers static,zombie_fleet,response_rate \
+    --defenders zmail_static \
+    --out /tmp/arena_report_1.json
+PYTHONPATH=src python -m repro arena --seed "${ARENA_SEED}" \
+    --worlds 2 --periods 3 --verify 1 \
+    --attackers static,zombie_fleet,response_rate \
+    --defenders zmail_static \
+    --out /tmp/arena_report_2.json >/dev/null
+cmp /tmp/arena_report_1.json /tmp/arena_report_2.json \
+    || { echo "arena tournament is not reproducible"; exit 1; }
+echo "arena reports byte-identical"
 
 echo "== CI gate passed =="
